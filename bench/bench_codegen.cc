@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Code-generation throughput: the ASIM II "Generate code" phase
+ * (Figure 5.1 row 3) for both backends, plus bytecode compilation,
+ * across spec sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/resolve.hh"
+#include "codegen/codegen.hh"
+#include "machines/stack_machine.hh"
+#include "machines/synthetic.hh"
+#include "sim/compiler.hh"
+
+namespace {
+
+using namespace asim;
+
+ResolvedSpec
+synth(int scale)
+{
+    SyntheticOptions opts;
+    opts.seed = 31 + scale;
+    opts.alus = scale * 6;
+    opts.selectors = scale * 2;
+    opts.memories = scale;
+    return resolve(generateSynthetic(opts));
+}
+
+void
+BM_GeneratePascal(benchmark::State &state)
+{
+    ResolvedSpec rs = synth(static_cast<int>(state.range(0)));
+    size_t bytes = 0;
+    for (auto _ : state) {
+        std::string code = generatePascal(rs);
+        bytes = code.size();
+        benchmark::DoNotOptimize(code);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes));
+}
+
+void
+BM_GenerateCpp(benchmark::State &state)
+{
+    ResolvedSpec rs = synth(static_cast<int>(state.range(0)));
+    size_t bytes = 0;
+    for (auto _ : state) {
+        std::string code = generateCpp(rs);
+        bytes = code.size();
+        benchmark::DoNotOptimize(code);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes));
+}
+
+void
+BM_CompileBytecode(benchmark::State &state)
+{
+    ResolvedSpec rs = synth(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileProgram(rs));
+}
+
+BENCHMARK(BM_GeneratePascal)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_GenerateCpp)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_CompileBytecode)->Arg(1)->Arg(8)->Arg(32);
+
+/** The thesis workload through both backends. */
+void
+BM_GenerateCppStackMachine(benchmark::State &state)
+{
+    ResolvedSpec rs = resolveText(
+        stackMachineSpec(sieveProgram(kBenchSieveSize), 5545));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(generateCpp(rs));
+}
+
+BENCHMARK(BM_GenerateCppStackMachine);
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Engine throughput across the three example machines: cycles/second
+ * for the interpreter (ASIM baseline) vs the bytecode VM (ASIM II
+ * analog). The Figure 5.1 interpreted-vs-compiled gap should be
+ * visible on every machine, growing with specification size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/resolve.hh"
+#include "machines/counter.hh"
+#include "machines/stack_machine.hh"
+#include "machines/tiny_computer.hh"
+#include "sim/engine.hh"
+#include "sim/symbolic.hh"
+
+namespace {
+
+using namespace asim;
+
+const ResolvedSpec &
+machine(int which)
+{
+    static const ResolvedSpec counter =
+        resolveText(counterSpec(8, 1000));
+    static const ResolvedSpec tiny = [] {
+        int r = 0;
+        return resolveText(tinyComputerSpec(tinyModProgram(97, 13, r),
+                                            100000));
+    }();
+    static const ResolvedSpec stack = resolveText(
+        stackMachineSpec(sieveProgram(kBenchSieveSize), 100000));
+    switch (which) {
+      case 0:
+        return counter;
+      case 1:
+        return tiny;
+      default:
+        return stack;
+    }
+}
+
+enum class Which
+{
+    Symbolic,
+    Interp,
+    Vm,
+};
+
+void
+runEngine(benchmark::State &state, Which which)
+{
+    const ResolvedSpec &rs = machine(static_cast<int>(state.range(0)));
+    NullIo io;
+    EngineConfig cfg;
+    cfg.io = &io;
+    cfg.collectStats = false;
+    std::unique_ptr<Engine> e;
+    switch (which) {
+      case Which::Symbolic:
+        e = makeSymbolicInterpreter(rs, cfg);
+        break;
+      case Which::Interp:
+        e = makeInterpreter(rs, cfg);
+        break;
+      case Which::Vm:
+        e = makeVm(rs, cfg);
+        break;
+    }
+    const uint64_t chunk = 1024;
+    for (auto _ : state) {
+        e->run(chunk);
+        if (e->cycle() > (1u << 24))
+            e->reset();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * chunk));
+    state.SetLabel(state.range(0) == 0   ? "counter"
+                   : state.range(0) == 1 ? "tiny_computer"
+                                         : "stack_machine");
+}
+
+void
+BM_SymbolicInterpreter(benchmark::State &state)
+{
+    runEngine(state, Which::Symbolic);
+}
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    runEngine(state, Which::Interp);
+}
+
+void
+BM_Vm(benchmark::State &state)
+{
+    runEngine(state, Which::Vm);
+}
+
+BENCHMARK(BM_SymbolicInterpreter)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Interpreter)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Vm)->Arg(0)->Arg(1)->Arg(2);
+
+/** Tracing cost: the sieve machine with a trace sink swallowing
+ *  events (isolates formatting from simulation). */
+void
+BM_VmTraced(benchmark::State &state)
+{
+    const ResolvedSpec &rs = resolveText(
+        stackMachineSpec(sieveProgram(kBenchSieveSize), 100000, true));
+    NullTrace trace;
+    NullIo io;
+    EngineConfig cfg;
+    cfg.io = &io;
+    cfg.trace = &trace;
+    auto e = makeVm(rs, cfg);
+    for (auto _ : state) {
+        e->run(1024);
+        if (e->cycle() > (1u << 24))
+            e->reset();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+BENCHMARK(BM_VmTraced);
+
+} // namespace

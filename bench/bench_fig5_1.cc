@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Figure 5.1 reproduction: "Execution time comparison of ASIM and
+ * ASIM II" on the stack-machine sieve, 5545 cycles.
+ *
+ * Paper rows (VAX 11/780, seconds):
+ *
+ *     ASIM      Generate tables    10.8
+ *               Simulation time   310.6
+ *     ASIM II   Generate code      34.2
+ *               Pascal Compile     43.2
+ *               Simulation time    15.0
+ *     Traditional Generate Prototype 100000
+ *               Run Prototype       0.01
+ *
+ * Our mapping: ASIM = the table-walking interpreter ("generate
+ * tables" = parse+resolve); ASIM II = C++ code generation + host g++
+ * + native run; plus the bytecode VM as a modern middle point. The
+ * absolute numbers are ~10^5 smaller on 2020s hardware; the claims to
+ * check are the *ratios*: compiled simulation roughly an order of
+ * magnitude faster than interpreted (thesis: ~20x), and preparation
+ * dominating the compiled pipeline (thesis: 2.5x end-to-end win).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analysis/resolve.hh"
+#include "codegen/native.hh"
+#include "lang/parser.hh"
+#include "machines/stack_machine.hh"
+#include "sim/engine.hh"
+#include "sim/symbolic.hh"
+#include "sim/vm.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using asim::kThesisSieveCycles;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+/** Median-of-5 timing of a callable (the thesis took best-of-5). */
+template <typename F>
+double
+timeIt(F &&f, int reps = 5)
+{
+    double best = 1e99;
+    for (int i = 0; i < reps; ++i) {
+        double t0 = now();
+        f();
+        best = std::min(best, now() - t0);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace asim;
+
+    const int64_t iterations = kThesisSieveCycles + 1; // inclusive loop
+    const std::string specText =
+        stackMachineSpec(sieveProgram(kBenchSieveSize),
+                         kThesisSieveCycles);
+
+    std::printf("Figure 5.1 — Execution time comparison "
+                "(sieve stack machine, %lld cycles)\n",
+                static_cast<long long>(kThesisSieveCycles));
+    std::printf("  spec: %zu bytes, sieve size %d\n\n",
+                specText.size(), kBenchSieveSize);
+
+    // ---- ASIM row: generate tables + symbolic interpretation --------
+    ResolvedSpec rs;
+    double genTables = timeIt([&] { rs = resolveText(specText); });
+
+    NullIo nullIo;
+    EngineConfig cfg;
+    cfg.io = &nullIo;
+    cfg.collectStats = false;
+
+    double interpSim = timeIt([&] {
+        auto e = makeSymbolicInterpreter(rs, cfg);
+        e->run(iterations);
+    });
+
+    // Modern slot-resolved interpreter (intermediate point).
+    double resolvedSim = timeIt([&] {
+        auto e = makeInterpreter(rs, cfg);
+        e->run(iterations);
+    });
+
+    // ---- Modern middle point: bytecode VM ---------------------------
+    double vmCompile = timeIt([&] { Vm vm(rs, cfg, {}); }, 5);
+    double vmSim = timeIt([&] {
+        auto e = makeVm(rs, cfg);
+        e->run(iterations);
+    });
+
+    // ---- ASIM II row: generate C++ + host compile + native run ------
+    CodegenOptions copts;
+    copts.emitTrace = false; // match the no-trace engine runs
+    double genCode = 0, hostCompile = 0, nativeSim = 0;
+    bool haveNative = hostCompilerAvailable();
+    if (haveNative) {
+        NativeResult res =
+            compileAndRun(rs, kThesisSieveCycles, copts);
+        genCode = res.generateSeconds;
+        hostCompile = res.compileSeconds;
+        nativeSim = res.simSeconds;
+        // Re-run the binary a few times for a stable sim time.
+        for (int i = 0; i < 4; ++i) {
+            NativeResult again =
+                compileAndRun(rs, kThesisSieveCycles, copts);
+            nativeSim = std::min(nativeSim, again.simSeconds);
+        }
+    }
+
+    std::printf("%-14s %-22s %12s %14s\n", "system", "phase",
+                "paper (s)", "measured (s)");
+    auto row = [](const char *sys, const char *phase, double paper,
+                  double measured) {
+        std::printf("%-14s %-22s %12.2f %14.6f\n", sys, phase, paper,
+                    measured);
+    };
+    row("ASIM", "Generate tables", 10.8, genTables);
+    row("ASIM", "Simulation time", 310.6, interpSim);
+    if (haveNative) {
+        row("ASIM II", "Generate code", 34.2, genCode);
+        row("ASIM II", "Host compile", 43.2, hostCompile);
+        row("ASIM II", "Simulation time", 15.0, nativeSim);
+    } else {
+        std::printf("%-14s %-22s %12s %14s\n", "ASIM II", "(no host "
+                    "compiler)", "-", "-");
+    }
+    std::printf("%-14s %-22s %12s %14.6f\n", "(resolved)",
+                "Simulation time", "-", resolvedSim);
+    std::printf("%-14s %-22s %12s %14.6f\n", "(VM)",
+                "Compile bytecode", "-", vmCompile);
+    std::printf("%-14s %-22s %12s %14.6f\n", "(VM)",
+                "Simulation time", "-", vmSim);
+    std::printf("%-14s %-22s %12.2f %14s\n", "Traditional",
+                "Generate Prototype", 100000.0, "(not built)");
+    std::printf("%-14s %-22s %12.2f %14s\n", "Traditional",
+                "Run Prototype", 0.01, "-");
+
+    std::printf("\nratios (paper -> measured):\n");
+    std::printf("  interpreted / compiled simulation: 20.7x -> "
+                "%.1fx%s\n",
+                haveNative ? interpSim / nativeSim : 0.0,
+                haveNative ? "" : " (n/a)");
+    std::printf("  interpreted / VM simulation:          -> %.1fx\n",
+                interpSim / vmSim);
+    std::printf("  interpreted / resolved-interpreter:   -> %.1fx\n",
+                interpSim / resolvedSim);
+    if (haveNative) {
+        double asim = genTables + interpSim;
+        double asim2 = genCode + hostCompile + nativeSim;
+        std::printf("  end-to-end ASIM / ASIM II: 2.5x -> %.2fx\n",
+                    asim / asim2);
+        std::printf("  (compiled pipeline preparation share: paper "
+                    "84%%, measured %.0f%%)\n",
+                    100.0 * (genCode + hostCompile) / asim2);
+
+        // The paper's 2.5x end-to-end win presumes a simulation long
+        // enough to amortize compilation. On modern hardware the
+        // same crossover exists at a larger cycle count; find it.
+        double perCycleInterp = interpSim / double(iterations);
+        double perCycleNative = nativeSim / double(iterations);
+        double prep = genCode + hostCompile - genTables;
+        double breakEven = prep / (perCycleInterp - perCycleNative);
+        std::printf("\ncrossover: ASIM II wins end-to-end beyond "
+                    "%.0f cycles (thesis ran %lld,\non hardware "
+                    "~10^5 slower; at VAX speeds the crossover sat "
+                    "well below 5545).\n",
+                    breakEven,
+                    static_cast<long long>(kThesisSieveCycles));
+
+        // Demonstrate the crossover with a longer run.
+        const int64_t longCycles = 100 * kThesisSieveCycles;
+        double longInterp = perCycleInterp * double(longCycles + 1);
+        NativeResult longRun = compileAndRun(rs, longCycles, copts);
+        double longAsim2 =
+            longRun.generateSeconds + longRun.compileSeconds +
+            longRun.simSeconds;
+        std::printf("\nscaled run (%lld cycles):\n",
+                    static_cast<long long>(longCycles));
+        std::printf("  ASIM    end-to-end: %10.3f s "
+                    "(tables %.4f + sim %.3f)\n",
+                    genTables + longInterp, genTables, longInterp);
+        std::printf("  ASIM II end-to-end: %10.3f s "
+                    "(gen %.4f + compile %.3f + sim %.4f)\n",
+                    longAsim2, longRun.generateSeconds,
+                    longRun.compileSeconds, longRun.simSeconds);
+        std::printf("  end-to-end ratio: %.1fx (paper: 2.5x)\n",
+                    (genTables + longInterp) / longAsim2);
+    }
+    std::printf("\nShape check: compiled simulation should beat the "
+                "interpreter by ~an order of\nmagnitude while paying "
+                "a preparation cost; see EXPERIMENTS.md.\n");
+    return 0;
+}

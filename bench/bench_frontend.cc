@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Front-end throughput: the ASIM "Generate tables" phase (Figure 5.1
+ * row 1) broken into lexing+parsing and resolution (dependency sort +
+ * expression resolution), across spec sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/resolve.hh"
+#include "lang/parser.hh"
+#include "machines/stack_machine.hh"
+#include "machines/synthetic.hh"
+
+namespace {
+
+using namespace asim;
+
+std::string
+synthText(int scale)
+{
+    SyntheticOptions opts;
+    opts.seed = 777 + scale;
+    opts.alus = scale * 6;
+    opts.selectors = scale * 2;
+    opts.memories = scale;
+    return generateSyntheticText(opts);
+}
+
+void
+BM_Parse(benchmark::State &state)
+{
+    std::string text = synthText(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(parseSpec(text));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+}
+
+void
+BM_ParseAndResolve(benchmark::State &state)
+{
+    std::string text = synthText(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(resolveText(text));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+}
+
+BENCHMARK(BM_Parse)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_ParseAndResolve)->Arg(1)->Arg(8)->Arg(32);
+
+/** The real thesis workload: the full stack-machine specification
+ *  (microcode ROM and program ROM included). */
+void
+BM_ParseStackMachine(benchmark::State &state)
+{
+    std::string text =
+        stackMachineSpec(sieveProgram(kBenchSieveSize), 5545);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(resolveText(text));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+}
+
+BENCHMARK(BM_ParseStackMachine);
+
+} // namespace

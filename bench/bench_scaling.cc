@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Engine scaling with specification size: synthetic machines from a
+ * handful of components up to hundreds. Per-cycle cost should grow
+ * linearly for both engines with the VM keeping a constant-factor
+ * advantage (the Figure 5.1 gap is size-independent).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/resolve.hh"
+#include "machines/synthetic.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using namespace asim;
+
+ResolvedSpec
+synth(int scale)
+{
+    SyntheticOptions opts;
+    opts.seed = 12345 + scale;
+    opts.alus = scale * 6;
+    opts.selectors = scale * 2;
+    opts.memories = scale;
+    opts.withIo = false;
+    opts.tracedPercent = 0;
+    return resolve(generateSynthetic(opts));
+}
+
+void
+runScaled(benchmark::State &state, bool vm)
+{
+    ResolvedSpec rs = synth(static_cast<int>(state.range(0)));
+    NullIo io;
+    EngineConfig cfg;
+    cfg.io = &io;
+    cfg.collectStats = false;
+    auto e = vm ? makeVm(rs, cfg) : makeInterpreter(rs, cfg);
+    for (auto _ : state)
+        e->run(256);
+    state.SetItemsProcessed(state.iterations() * 256);
+    state.SetLabel(std::to_string(rs.spec.comps.size()) +
+                   " components");
+}
+
+void
+BM_InterpreterScaling(benchmark::State &state)
+{
+    runScaled(state, false);
+}
+
+void
+BM_VmScaling(benchmark::State &state)
+{
+    runScaled(state, true);
+}
+
+BENCHMARK(BM_InterpreterScaling)->Arg(1)->Arg(4)->Arg(16)->Arg(48);
+BENCHMARK(BM_VmScaling)->Arg(1)->Arg(4)->Arg(16)->Arg(48);
+
+} // namespace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Appendix F tiny computer: a 10-bit, five-instruction (LD, ST,
+ * BB, BR, SU) accumulator machine with 128 words of unified memory.
+ * Demonstrates assembling programs for a machine that has *only*
+ * subtract, and watching the architectural registers cycle by cycle.
+ */
+
+#include <iostream>
+
+#include "analysis/resolve.hh"
+#include "machines/tiny_computer.hh"
+#include "sim/engine.hh"
+
+int
+main()
+{
+    using namespace asim;
+
+    // 23 mod 7 by repeated subtraction.
+    int modResult = 0;
+    auto modImg = tinyModProgram(23, 7, modResult);
+    ResolvedSpec rs = resolveText(tinyComputerSpec(modImg, 400));
+
+    std::cout << "tiny computer: 23 mod 7, tracing pc/ir/ac/borrow "
+                 "for the first 12 instruction phases\n";
+    StreamTrace trace(std::cout);
+    EngineConfig cfg;
+    cfg.trace = &trace;
+    auto engine = makeVm(rs, cfg);
+    engine->run(12);
+
+    // Finish without tracing.
+    auto rest = makeVm(rs);
+    rest->run(400);
+    std::cout << "...\nresult cell[" << modResult
+              << "] = " << rest->memCell("memory", modResult)
+              << " (expected 2)\n\n";
+
+    // 6 * 7 on a machine with no multiply and no add.
+    int mulResult = 0;
+    auto mulImg = tinyMulProgram(6, 7, mulResult);
+    auto mul = makeVm(resolveText(tinyComputerSpec(mulImg, 3000)));
+    mul->run(3000);
+    std::cout << "6 * 7 via repeated x - (0 - y): cell[" << mulResult
+              << "] = " << mul->memCell("memory", mulResult)
+              << " (expected 42)\n";
+    std::cout << mul->stats().summary();
+    return 0;
+}

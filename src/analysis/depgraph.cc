@@ -1,0 +1,109 @@
+#include "analysis/depgraph.hh"
+
+#include <map>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace asim {
+
+std::vector<const Expr *>
+inputExprs(const Component &c)
+{
+    std::vector<const Expr *> out;
+    switch (c.kind) {
+      case CompKind::Alu:
+        out = {&c.funct, &c.left, &c.right};
+        break;
+      case CompKind::Selector:
+        out.push_back(&c.select);
+        for (const auto &e : c.cases)
+            out.push_back(&e);
+        break;
+      case CompKind::Memory:
+        // Memory inputs are latched; they impose no ordering.
+        break;
+    }
+    return out;
+}
+
+bool
+dependsOn(const Component &a, const Component &b)
+{
+    for (const Expr *e : inputExprs(a)) {
+        for (const auto &t : e->terms) {
+            if (t.kind == Term::Kind::Ref && t.ref == b.name)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::vector<int>
+orderCombinational(const std::vector<Component> &comps)
+{
+    // Collect combinational components and index them by name.
+    std::vector<int> comb;
+    std::map<std::string, int, std::less<>> byName;
+    for (int i = 0; i < static_cast<int>(comps.size()); ++i) {
+        if (comps[i].kind != CompKind::Memory) {
+            byName.emplace(comps[i].name, i);
+            comb.push_back(i);
+        }
+    }
+
+    // Build edges: dep -> dependents; count in-degrees.
+    std::map<int, std::vector<int>> users;
+    std::map<int, int> indegree;
+    for (int i : comb)
+        indegree[i] = 0;
+    for (int i : comb) {
+        for (const Expr *e : inputExprs(comps[i])) {
+            for (const auto &t : e->terms) {
+                if (t.kind != Term::Kind::Ref)
+                    continue;
+                auto it = byName.find(t.ref);
+                if (it == byName.end())
+                    continue;
+                // A self-reference is a one-node cycle: the self edge
+                // keeps the in-degree positive and Kahn reports it.
+                users[it->second].push_back(i);
+                ++indegree[i];
+            }
+        }
+    }
+
+    // Kahn's algorithm; the ready queue is ordered by declaration
+    // index so that independent components keep their spec order.
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (int i : comb) {
+        if (indegree[i] == 0)
+            ready.push(i);
+    }
+
+    std::vector<int> order;
+    while (!ready.empty()) {
+        int i = ready.top();
+        ready.pop();
+        order.push_back(i);
+        for (int u : users[i]) {
+            if (--indegree[u] == 0)
+                ready.push(u);
+        }
+    }
+
+    if (order.size() != comb.size()) {
+        std::string names;
+        for (int i : comb) {
+            if (indegree[i] > 0) {
+                if (!names.empty())
+                    names += ", ";
+                names += comps[i].name;
+            }
+        }
+        throw SpecError("Error. Circular dependency with " + names + ".");
+    }
+    return order;
+}
+
+} // namespace asim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Combinational dependency analysis and ordering (thesis `orderit`).
+ *
+ * ALUs and selectors form the combinational network: a component that
+ * reads another ALU/selector's output must be evaluated after it.
+ * Memories impose no ordering — their inputs are latched and their
+ * outputs go through one-cycle-delay temporaries. The thesis used an
+ * O(n^3) exchange sort; we use Kahn's algorithm with declaration-order
+ * tie-breaking, which produces a valid order under exactly the same
+ * dependency relation and reports circular dependencies with the full
+ * residual component set.
+ */
+
+#ifndef ASIM_ANALYSIS_DEPGRAPH_HH
+#define ASIM_ANALYSIS_DEPGRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+
+namespace asim {
+
+/** All expressions that feed component `c` (its inputs). */
+std::vector<const Expr *> inputExprs(const Component &c);
+
+/** True if component `a` depends on the output of component `b`
+ *  (thesis `dependent`): some input expression of `a` references
+ *  `b.name`. Memories never depend on anything for ordering. */
+bool dependsOn(const Component &a, const Component &b);
+
+/**
+ * Topologically order the combinational components.
+ *
+ * @param comps all components, declaration order
+ * @return indices into `comps` of the ALUs/selectors in a valid
+ *         evaluation order (memories are not included)
+ * @throws SpecError naming the components on a combinational cycle
+ *         ("Error. Circular dependency with ...")
+ */
+std::vector<int> orderCombinational(const std::vector<Component> &comps);
+
+} // namespace asim
+
+#endif // ASIM_ANALYSIS_DEPGRAPH_HH

@@ -1,0 +1,81 @@
+#include "analysis/fault.hh"
+
+#include "lang/alu_ops.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace asim {
+
+namespace {
+
+/** Build a one-term constant expression. */
+Expr
+constExpr(int32_t value)
+{
+    Expr e;
+    Term t;
+    t.kind = Term::Kind::Const;
+    t.value = value;
+    e.terms.push_back(t);
+    e.source = std::to_string(value);
+    return e;
+}
+
+/** Build a whole-component reference expression. */
+Expr
+refExpr(const std::string &name)
+{
+    Expr e;
+    Term t;
+    t.kind = Term::Kind::Ref;
+    t.ref = name;
+    e.terms.push_back(t);
+    e.source = name;
+    return e;
+}
+
+} // namespace
+
+Spec
+injectStuckBit(const Spec &spec, const std::string &comp, int bit,
+               StuckMode mode)
+{
+    if (bit < 0 || bit >= kMaxBits) {
+        throw SpecError("Error. Fault bit " + std::to_string(bit) +
+                        " out of range 0..30.");
+    }
+
+    Spec out = spec;
+    Component *victim = out.find(comp);
+    if (!victim)
+        throw SpecError("Error. Component <" + comp + "> not found.");
+
+    const std::string shadow = comp + "FAULTED";
+    if (out.find(shadow)) {
+        throw SpecError("Error. Component " + shadow +
+                        " already exists.");
+    }
+    victim->name = shadow;
+
+    // Splice: name = shadow AND mask   (stuck-at-0)
+    //         name = shadow OR  bit    (stuck-at-1)
+    Component splice;
+    splice.kind = CompKind::Alu;
+    splice.name = comp;
+    splice.left = refExpr(shadow);
+    if (mode == StuckMode::StuckAt0) {
+        splice.funct = constExpr(kAluAnd);
+        splice.right = constExpr(land(kValueMask, ~highbit(bit)));
+    } else {
+        splice.funct = constExpr(kAluOr);
+        splice.right = constExpr(highbit(bit));
+    }
+    out.comps.push_back(std::move(splice));
+
+    // The shadow needs a declaration entry (untraced); the original
+    // declaration keeps tracing the *observed* (faulty) value.
+    out.decls.push_back(DeclName{shadow, false});
+    return out;
+}
+
+} // namespace asim

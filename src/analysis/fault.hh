@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fault injection (thesis §2.3.2).
+ *
+ * The thesis names fault injection — "inserting a fault in the
+ * specification to cause errors (by design) in the simulation run" —
+ * as a core application of a CHDL simulator. This module implements
+ * the classic stuck-at fault model at the specification level: the
+ * faulted component is renamed and an ALU is spliced in under the
+ * original name that forces one output bit to 0 or 1. Every consumer
+ * transparently observes the faulty value; timing is unchanged for
+ * combinational victims (the splice is itself combinational).
+ */
+
+#ifndef ASIM_ANALYSIS_FAULT_HH
+#define ASIM_ANALYSIS_FAULT_HH
+
+#include <string>
+
+#include "lang/ast.hh"
+
+namespace asim {
+
+/** Stuck-at fault polarities. */
+enum class StuckMode
+{
+    StuckAt0,
+    StuckAt1,
+};
+
+/**
+ * Return a copy of `spec` with bit `bit` of component `comp` stuck.
+ *
+ * For a memory victim the splice observes the output latch, adding one
+ * combinational stage but no extra cycle of delay (the wrapper ALU
+ * evaluates in the same cycle the latch is visible).
+ *
+ * @throws SpecError if `comp` does not exist or `bit` is out of range
+ */
+Spec injectStuckBit(const Spec &spec, const std::string &comp, int bit,
+                    StuckMode mode);
+
+} // namespace asim
+
+#endif // ASIM_ANALYSIS_FAULT_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * `asim2c` — the ASIM II compiler: specification in, Pascal or C++
+ * out (thesis Appendix A: `sim [file]` producing `simulator.p`).
+ *
+ * Usage: asim2c [options] <spec-file>
+ *   --lang=pascal|cpp    target language (default pascal)
+ *   -o <file>            output path (default simulator.p / .cc)
+ *   --no-trace           generate without trace statements
+ *   --no-optimize        disable constant inlining/specialization
+ *   --fixed-shl          repaired shift-left semantics
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/resolve.hh"
+#include "codegen/codegen.hh"
+#include "lang/parser.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace asim;
+
+    std::string file;
+    std::string lang = "pascal";
+    std::string outPath;
+    CodegenOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--lang=", 0) == 0) {
+            lang = arg.substr(7);
+        } else if (arg == "-o" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--no-trace") {
+            opts.emitTrace = false;
+        } else if (arg == "--no-optimize") {
+            opts.inlineConstAlu = false;
+            opts.specializeConstMem = false;
+        } else if (arg == "--fixed-shl") {
+            opts.aluSemantics = AluSemantics::Fixed;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cerr << "usage: asim2c [--lang=pascal|cpp] [-o file]\n"
+                      << "              [--no-trace] [--no-optimize]\n"
+                      << "              [--fixed-shl] <spec-file>\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option " << arg << "\n";
+            return 1;
+        } else {
+            file = arg;
+        }
+    }
+    if (file.empty()) {
+        std::cerr << "usage: asim2c [options] <spec-file>\n";
+        return 1;
+    }
+    if (lang != "pascal" && lang != "cpp") {
+        std::cerr << "unknown language " << lang << "\n";
+        return 1;
+    }
+    if (outPath.empty())
+        outPath = lang == "pascal" ? "simulator.p" : "simulator.cc";
+
+    try {
+        Diagnostics diag;
+        std::cerr << "Reading file " << file << "\n";
+        Spec spec = parseSpecFile(file, &diag);
+        std::cerr << spec.comps.size() << " components read.\n";
+        std::cerr << "Sorting components.\n";
+        ResolvedSpec rs = resolve(spec, &diag);
+        for (const auto &w : diag.warnings())
+            std::cerr << w << "\n";
+        std::cerr << "Generating code.\n";
+        std::string code = lang == "pascal" ? generatePascal(rs, opts)
+                                            : generateCpp(rs, opts);
+        std::ofstream out(outPath, std::ios::binary);
+        out << code;
+        if (!out) {
+            std::cerr << "cannot write " << outPath << "\n";
+            return 1;
+        }
+        std::cerr << "Wrote " << outPath << "\n";
+        return 0;
+    } catch (const SpecError &e) {
+        std::cerr << e.what() << "\n";
+        std::cerr << "Error in program (no code generated).\n";
+        return 1;
+    }
+}

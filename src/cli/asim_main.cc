@@ -1,0 +1,124 @@
+/**
+ * @file
+ * `asim-run` — run an ASIM II specification.
+ *
+ * Usage: asim-run [options] <spec-file>
+ *   --engine=vm|interp   execution engine (default vm)
+ *   --cycles=N           override the spec's `=` cycle count
+ *   --stats              print access statistics after the run
+ *   --no-trace           suppress the per-cycle trace
+ *   --fixed-shl          use repaired shift-left semantics
+ *
+ * Mirrors the thesis' interactive behavior: when no cycle count is
+ * available it asks "Number of cycles to trace", and after the run it
+ * offers "Continue to cycle (0 to quit)".
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/resolve.hh"
+#include "lang/parser.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr << "usage: asim-run [--engine=vm|interp] [--cycles=N]\n"
+              << "                [--stats] [--no-trace] [--fixed-shl]\n"
+              << "                <spec-file>\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace asim;
+
+    std::string file;
+    std::string engineName = "vm";
+    int64_t cycles = -1;
+    bool stats = false;
+    bool trace = true;
+    AluSemantics sem = AluSemantics::Thesis;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--engine=", 0) == 0) {
+            engineName = arg.substr(9);
+        } else if (arg.rfind("--cycles=", 0) == 0) {
+            cycles = std::atoll(arg.c_str() + 9);
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--no-trace") {
+            trace = false;
+        } else if (arg == "--fixed-shl") {
+            sem = AluSemantics::Fixed;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 1;
+        } else {
+            file = arg;
+        }
+    }
+    if (file.empty()) {
+        usage();
+        return 1;
+    }
+
+    try {
+        Diagnostics diag;
+        ResolvedSpec rs = resolve(parseSpecFile(file, &diag), &diag);
+        for (const auto &w : diag.warnings())
+            std::cerr << w << "\n";
+        std::cerr << rs.spec.comps.size() << " components read.\n";
+
+        StreamTrace streamTrace(std::cout);
+        StreamIo io(std::cin, std::cout);
+        EngineConfig cfg;
+        cfg.trace = trace ? &streamTrace : nullptr;
+        cfg.io = &io;
+        cfg.aluSemantics = sem;
+
+        auto engine = engineName == "interp" ? makeInterpreter(rs, cfg)
+                                             : makeVm(rs, cfg);
+
+        int64_t todo = cycles;
+        if (todo < 0 && rs.spec.cyclesSpecified)
+            todo = rs.spec.thesisIterations();
+        if (todo < 0) {
+            std::cout << "Number of cycles to trace\n";
+            std::cin >> todo;
+            ++todo; // thesis loop is inclusive
+        }
+
+        while (todo > 0) {
+            engine->run(static_cast<uint64_t>(todo));
+            if (cycles >= 0)
+                break; // explicit --cycles: no interactive continue
+            std::cout << "Continue to cycle (0 to quit)\n";
+            int64_t target = 0;
+            if (!(std::cin >> target) || target <= 0)
+                break;
+            todo = target - static_cast<int64_t>(engine->cycle()) + 1;
+        }
+
+        if (stats)
+            std::cerr << engine->stats().summary();
+        return 0;
+    } catch (const SpecError &e) {
+        std::cerr << e.what() << "\n";
+        std::cerr << "Error in program (no code generated).\n";
+        return 1;
+    } catch (const SimError &e) {
+        std::cerr << "runtime error: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -1,0 +1,100 @@
+#include "codegen/codegen.hh"
+
+#include <sstream>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace asim {
+
+CodegenContext::CodegenContext(const ResolvedSpec &rs,
+                               std::string varPrefix,
+                               std::string tempPrefix)
+    : rs_(rs),
+      varPrefix_(std::move(varPrefix)),
+      tempPrefix_(std::move(tempPrefix))
+{
+    slotNames_.resize(rs.numVarSlots);
+    for (const auto &[name, slot] : rs.varSlots)
+        slotNames_[slot] = name;
+    memNames_.resize(rs.mems.size());
+    for (const auto &[name, idx] : rs.memIndexes)
+        memNames_[idx] = name;
+}
+
+std::string
+CodegenContext::varName(int slot) const
+{
+    return varPrefix_ + slotNames_[slot];
+}
+
+std::string
+CodegenContext::memArrayName(int idx) const
+{
+    return varPrefix_ + memNames_[idx];
+}
+
+std::string
+CodegenContext::tempName(int idx) const
+{
+    return tempPrefix_ + memNames_[idx];
+}
+
+const std::string &
+CodegenContext::slotComponent(int slot) const
+{
+    return slotNames_[slot];
+}
+
+const std::string &
+CodegenContext::memComponent(int idx) const
+{
+    return memNames_[idx];
+}
+
+std::string
+CodegenContext::paren(const std::string &rendered)
+{
+    if (rendered.find(" + ") == std::string::npos)
+        return rendered;
+    return "(" + rendered + ")";
+}
+
+std::string
+CodegenContext::renderExpr(const ResolvedExpr &e,
+                           const std::string &divKeyword) const
+{
+    if (e.isConstant())
+        return std::to_string(e.constTotal);
+
+    std::ostringstream os;
+    bool first = true;
+    // Thesis `expr` scans right-to-left, so the rightmost source term
+    // is rendered first and the folded constant comes last.
+    for (auto it = e.terms.rbegin(); it != e.terms.rend(); ++it) {
+        const ResolvedTerm &t = *it;
+        if (!first)
+            os << " + ";
+        first = false;
+
+        std::string name = t.bank == ResolvedTerm::Bank::Var
+                               ? varName(t.slot)
+                               : tempName(t.slot);
+        if (t.whole) {
+            os << name;
+            if (t.shift > 0)
+                os << " * " << highbit(t.shift);
+        } else {
+            os << "land(" << name << ", " << t.mask << ")";
+            if (t.shift < 0)
+                os << ' ' << divKeyword << ' ' << highbit(-t.shift);
+            else if (t.shift > 0)
+                os << " * " << highbit(t.shift);
+        }
+    }
+    if (e.constTotal != 0)
+        os << " + " << e.constTotal;
+    return os.str();
+}
+
+} // namespace asim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * C++ backend.
+ *
+ * Emits a standalone, dependency-free C++ translation unit with the
+ * same structure as the thesis' generated Pascal (variables per
+ * combinational output; temp/adr/opn latches and a cell array per
+ * memory; land/dologic/sinput/soutput helpers; one flat simulation
+ * loop). Output formats (trace lines, memory-mapped I/O) match the
+ * library engines byte-for-byte so the three execution systems can be
+ * compared directly.
+ *
+ * Compile the output with `g++ -O2 -fwrapv` — the library's value
+ * model is wrapping 32-bit two's-complement arithmetic, and -fwrapv
+ * makes the emitted `+`/`-`/`*` expressions implement it exactly.
+ */
+
+#ifndef ASIM_CODEGEN_CPP_BACKEND_HH
+#define ASIM_CODEGEN_CPP_BACKEND_HH
+
+#include "codegen/codegen.hh"
+
+namespace asim {
+
+/** Implementation class behind generateCpp(). */
+class CppBackend
+{
+  public:
+    CppBackend(const ResolvedSpec &rs, const CodegenOptions &opts);
+
+    /** Generate the complete translation unit. */
+    std::string generate();
+
+  private:
+    std::string expr(const ResolvedExpr &e) const;
+    void emitHeader();
+    void emitState();
+    void emitHelpers();
+    void emitInitValues();
+    void emitAlu(const CombComp &c);
+    void emitSelector(const CombComp &c);
+    void emitTraceLine();
+    void emitMemoryLatches();
+    void emitMemoryUpdate(const MemDesc &m);
+    void emitMemoryTraces(const MemDesc &m);
+    void emitMain();
+
+    const ResolvedSpec &rs_;
+    CodegenOptions opts_;
+    CodegenContext ctx_;
+    std::string out_;
+
+    void ln(const std::string &s) { out_ += s; out_ += '\n'; }
+};
+
+} // namespace asim
+
+#endif // ASIM_CODEGEN_CPP_BACKEND_HH

@@ -1,0 +1,126 @@
+#include "codegen/native.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/cpp_backend.hh"
+#include "support/logging.hh"
+#include "support/text.hh"
+
+namespace asim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    if (!out)
+        throw SimError("cannot write " + path);
+}
+
+int
+shell(const std::string &cmd)
+{
+    int rc = std::system(cmd.c_str());
+    if (rc < 0)
+        throw SimError("failed to launch: " + cmd);
+    return rc;
+}
+
+} // namespace
+
+bool
+hostCompilerAvailable()
+{
+    static const bool available =
+        std::system("g++ --version > /dev/null 2>&1") == 0;
+    return available;
+}
+
+NativeResult
+compileAndRun(const ResolvedSpec &rs, int64_t cycles,
+              const CodegenOptions &opts, std::string workDir,
+              const std::string &stdinText)
+{
+    if (!hostCompilerAvailable())
+        throw SimError("no host C++ compiler (g++) available");
+
+    if (workDir.empty()) {
+        char tmpl[] = "/tmp/asim2-native-XXXXXX";
+        char *dir = mkdtemp(tmpl);
+        if (!dir)
+            throw SimError("mkdtemp failed");
+        workDir = dir;
+    }
+
+    NativeResult res;
+    res.generatedPath = workDir + "/simulator.cc";
+    res.binaryPath = workDir + "/simulator";
+
+    // Phase 1: generate code (Figure 5.1 "Generate code").
+    auto g0 = Clock::now();
+    std::string code = generateCpp(rs, opts);
+    writeFile(res.generatedPath, code);
+    res.generateSeconds = seconds(g0, Clock::now());
+
+    // Phase 2: host compile (Figure 5.1 "Pascal Compile").
+    auto c0 = Clock::now();
+    int rc = shell("g++ -O2 -fwrapv -o '" + res.binaryPath + "' '" +
+                   res.generatedPath + "' > '" + workDir +
+                   "/compile.log' 2>&1");
+    res.compileSeconds = seconds(c0, Clock::now());
+    if (rc != 0) {
+        throw SimError("generated code failed to compile (see " +
+                       workDir + "/compile.log)");
+    }
+
+    // Phase 3: run (Figure 5.1 "Simulation time").
+    const std::string outPath = workDir + "/stdout.txt";
+    const std::string errPath = workDir + "/stderr.txt";
+    const std::string inPath = workDir + "/stdin.txt";
+    writeFile(inPath, stdinText);
+
+    auto r0 = Clock::now();
+    rc = shell("'" + res.binaryPath + "' " + std::to_string(cycles) +
+               " < '" + inPath + "' > '" + outPath + "' 2> '" + errPath +
+               "'");
+    res.runSeconds = seconds(r0, Clock::now());
+    res.exitCode = rc;
+    res.stdoutText = readFile(outPath);
+
+    // The program self-times its loop and reports SIM_NS on stderr.
+    std::string err = readFile(errPath);
+    size_t at = err.find("SIM_NS=");
+    if (at != std::string::npos) {
+        res.simSeconds =
+            std::strtod(err.c_str() + at + 7, nullptr) / 1e9;
+    }
+    if (rc != 0) {
+        throw SimError("generated simulator exited with status " +
+                       std::to_string(rc) + ": " + err);
+    }
+    return res;
+}
+
+} // namespace asim

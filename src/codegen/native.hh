@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Native pipeline driver: generate C++ -> host compiler -> run.
+ *
+ * This is the full ASIM II workflow of the thesis (§5.2): code
+ * generation, a host-compiler invocation, and a fast native simulation
+ * run. Figure 5.1's three ASIM II rows (generate / compile / simulate)
+ * map onto NativeResult's three duration fields.
+ */
+
+#ifndef ASIM_CODEGEN_NATIVE_HH
+#define ASIM_CODEGEN_NATIVE_HH
+
+#include <optional>
+#include <string>
+
+#include "codegen/codegen.hh"
+
+namespace asim {
+
+/** Outcome of one generate+compile+run pipeline execution. */
+struct NativeResult
+{
+    double generateSeconds = 0; ///< spec -> C++ text
+    double compileSeconds = 0;  ///< host g++ invocation
+    double runSeconds = 0;      ///< whole process wall time
+    double simSeconds = 0;      ///< the loop itself (SIM_NS on stderr)
+    int exitCode = 0;
+    std::string stdoutText;     ///< trace + memory-mapped output
+    std::string generatedPath;  ///< the .cc file left on disk
+    std::string binaryPath;
+};
+
+/** True if a host C++ compiler is available. */
+bool hostCompilerAvailable();
+
+/**
+ * Run the full pipeline.
+ *
+ * @param rs resolved specification
+ * @param cycles value for the generated program's cycle argument; the
+ *        program executes cycles+1 loop iterations (thesis semantics)
+ * @param opts codegen options
+ * @param workDir directory for artifacts; empty = fresh temp dir
+ * @param stdinText text piped to the program's standard input
+ * @throws SimError if the compiler or the program fails
+ */
+NativeResult compileAndRun(const ResolvedSpec &rs, int64_t cycles,
+                           const CodegenOptions &opts = {},
+                           std::string workDir = "",
+                           const std::string &stdinText = "");
+
+} // namespace asim
+
+#endif // ASIM_CODEGEN_NATIVE_HH

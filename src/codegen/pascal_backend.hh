@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pascal backend: reproduces the shape of the code ASIM II emitted
+ * (thesis Appendix E, Figures 4.1-4.3).
+ *
+ * The output is golden-tested against the figures but not executed —
+ * there is no Pascal compiler in this environment; the executable
+ * pipeline uses the C++ backend (codegen/cpp_backend.hh), which
+ * preserves the compile-then-simulate structure.
+ */
+
+#ifndef ASIM_CODEGEN_PASCAL_BACKEND_HH
+#define ASIM_CODEGEN_PASCAL_BACKEND_HH
+
+#include "codegen/codegen.hh"
+
+namespace asim {
+
+/** Implementation class behind generatePascal(). */
+class PascalBackend
+{
+  public:
+    PascalBackend(const ResolvedSpec &rs, const CodegenOptions &opts);
+
+    /** Generate the complete program text. */
+    std::string generate();
+
+  private:
+    std::string expr(const ResolvedExpr &e) const;
+    void emitHeader();
+    void emitVarDecls();
+    void emitLand();
+    void emitInitValues();
+    void emitDologic();
+    void emitIoProcs();
+    void emitMain();
+    void emitAlu(const CombComp &c);
+    void emitSelector(const CombComp &c);
+    void emitTraceLine();
+    void emitMemoryLatches();
+    void emitMemoryUpdate(const MemDesc &m);
+    void emitMemoryTraces(const MemDesc &m);
+
+    const ResolvedSpec &rs_;
+    CodegenOptions opts_;
+    CodegenContext ctx_;
+    std::string out_;
+
+    /** Append a line. */
+    void ln(const std::string &s) { out_ += s; out_ += '\n'; }
+};
+
+} // namespace asim
+
+#endif // ASIM_CODEGEN_PASCAL_BACKEND_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The fourteen ASIM II ALU functions (thesis Appendix A, implemented as
+ * the generated `dologic` in Appendix E).
+ *
+ *   0 zero           7 left * right
+ *   1 right          8 AND(left, right)
+ *   2 left           9 OR(left, right)
+ *   3 NOT(left)     10 XOR(left, right)
+ *   4 left + right  11 unused (zero)
+ *   5 left - right  12 left = right  (1 if true, 0 if false)
+ *   6 left * 2^right (shift left)
+ *                   13 left < right
+ *
+ * Function 6 carries a faithful quirk: the thesis loop
+ *
+ *     value := 0;
+ *     while (right > 0) and (left <> 0) do begin
+ *         left := land(left + left, mask); value := left; ...
+ *
+ * never assigns `value` when the shift count is zero, so
+ * `dologic(6, x, 0) = 0` rather than `x`. AluSemantics::Thesis keeps
+ * that behavior (the default — it is what both ASIM and ASIM II
+ * executed); AluSemantics::Fixed repairs it to a true shift.
+ */
+
+#ifndef ASIM_LANG_ALU_OPS_HH
+#define ASIM_LANG_ALU_OPS_HH
+
+#include <cstdint>
+
+namespace asim {
+
+/** Which shift-left edge-case behavior to use. */
+enum class AluSemantics
+{
+    Thesis, ///< dologic(6, x, 0) == 0, exactly as generated in 1986
+    Fixed,  ///< dologic(6, x, 0) == land(x, mask)
+};
+
+/** Symbolic names for the ALU function codes. */
+enum AluFunction : int32_t
+{
+    kAluZero = 0,
+    kAluRight = 1,
+    kAluLeft = 2,
+    kAluNot = 3,
+    kAluAdd = 4,
+    kAluSub = 5,
+    kAluShl = 6,
+    kAluMul = 7,
+    kAluAnd = 8,
+    kAluOr = 9,
+    kAluXor = 10,
+    kAluUnused = 11,
+    kAluEq = 12,
+    kAluLt = 13,
+
+    kAluFunctionCount = 14,
+};
+
+/**
+ * Evaluate ALU function `funct` on `left` and `right`.
+ *
+ * @throws SimError if `funct` is outside [0,13] (the generated Pascal
+ *         would have died with a case-range error).
+ */
+int32_t dologic(int32_t funct, int32_t left, int32_t right,
+                AluSemantics sem = AluSemantics::Thesis);
+
+/** True if `funct` names a valid ALU function. */
+constexpr bool
+validAluFunction(int32_t funct)
+{
+    return funct >= 0 && funct < kAluFunctionCount;
+}
+
+} // namespace asim
+
+#endif // ASIM_LANG_ALU_OPS_HH

@@ -1,0 +1,92 @@
+#include "lang/lexer.hh"
+
+#include "support/logging.hh"
+#include "support/text.hh"
+
+namespace asim {
+
+Lexer::Lexer(std::string_view text)
+    : text_(text)
+{}
+
+std::string
+Lexer::readCommentLine()
+{
+    std::string line;
+    while (pos_ < text_.size() && text_[pos_] != '\n')
+        line += text_[pos_++];
+    if (pos_ < text_.size()) {
+        ++pos_;
+        ++line_;
+    }
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return line;
+}
+
+bool
+Lexer::isWhitespace(char c) const
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+void
+Lexer::skipWhitespace()
+{
+    while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if (c == '{') {
+            // Comment: skip to matching '}' (no nesting, per thesis).
+            while (pos_ < text_.size() && text_[pos_] != '}')
+                advanceOne();
+            if (pos_ < text_.size())
+                advanceOne(); // the '}'
+        } else if (isWhitespace(c)) {
+            advanceOne();
+        } else {
+            break;
+        }
+    }
+}
+
+std::string
+Lexer::next()
+{
+    if (pendingDot_) {
+        pendingDot_ = false;
+        return ".";
+    }
+
+    skipWhitespace();
+    tokenLine_ = line_;
+
+    std::string token;
+    while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if (isWhitespace(c) || c == '{')
+            break;
+        if (expand_ && c == '~') {
+            advanceOne();
+            size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (isLetter(text_[pos_]) || isDigit(text_[pos_]))) {
+                advanceOne();
+            }
+            std::string_view name(text_.data() + start, pos_ - start);
+            token += macros_.lookup(name);
+        } else {
+            token += c;
+            advanceOne();
+        }
+    }
+
+    // Split a trailing '.' off multi-character tokens, but keep
+    // intermediate dots (subfields) intact: "count." -> "count", ".".
+    if (token.size() > 1 && token.back() == '.') {
+        token.pop_back();
+        pendingDot_ = true;
+    }
+    return token;
+}
+
+} // namespace asim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Token scanner for ASIM II specifications (thesis `gettoken`).
+ *
+ * Tokens are maximal runs of non-whitespace characters. Whitespace is
+ * blank, tab, CR, LF; `{ ... }` comments act as whitespace anywhere
+ * (nesting is not supported, matching the thesis). A trailing `.` on a
+ * token longer than one character is split off as its own token (this
+ * is how `count.` ends the declaration list while `count.3` stays one
+ * token — the thesis splits the final '.' and the parser relies on it).
+ * Macro references `~name` are substituted in place when expansion is
+ * enabled.
+ */
+
+#ifndef ASIM_LANG_LEXER_HH
+#define ASIM_LANG_LEXER_HH
+
+#include <string>
+#include <string_view>
+
+#include "lang/macro.hh"
+
+namespace asim {
+
+/** Streaming tokenizer over a whole specification text. */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text);
+
+    /** Read the mandatory first line (the `#` comment). Must be called
+     *  before the first next(). Returns the raw line. */
+    std::string readCommentLine();
+
+    /** Next token; empty string at end of input. */
+    std::string next();
+
+    /** Enable/disable `~name` macro substitution (the thesis disables
+     *  it while reading a macro definition's name). */
+    void setExpandMacros(bool on) { expand_ = on; }
+
+    /** The macro table used for substitution. */
+    MacroTable &macros() { return macros_; }
+    const MacroTable &macros() const { return macros_; }
+
+    /** 1-based line number of the most recently returned token. */
+    int line() const { return tokenLine_; }
+
+  private:
+    bool isWhitespace(char c) const;
+    void skipWhitespace();
+
+    /** Consume one character, maintaining the line counter. */
+    void
+    advanceOne()
+    {
+        if (pos_ < text_.size() && text_[pos_] == '\n')
+            ++line_;
+        ++pos_;
+    }
+
+    std::string text_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int tokenLine_ = 1;
+    bool expand_ = false;
+    MacroTable macros_;
+
+    /** Pending `.` split off the previous token. */
+    bool pendingDot_ = false;
+};
+
+} // namespace asim
+
+#endif // ASIM_LANG_LEXER_HH

@@ -1,0 +1,60 @@
+#include "lang/macro.hh"
+
+#include "support/logging.hh"
+#include "support/text.hh"
+
+namespace asim {
+
+void
+MacroTable::define(std::string_view name, std::string_view body)
+{
+    if (!isValidName(name)) {
+        throw SpecError("Error. Macro name " + std::string(name) +
+                        " invalid, use letters and numbers only.");
+    }
+    if (defined(name)) {
+        throw SpecError("Error. Macro " + std::string(name) +
+                        " defined twice.");
+    }
+    table_.emplace(std::string(name), std::string(body));
+}
+
+bool
+MacroTable::defined(std::string_view name) const
+{
+    return table_.find(name) != table_.end();
+}
+
+const std::string &
+MacroTable::lookup(std::string_view name) const
+{
+    auto it = table_.find(name);
+    if (it == table_.end()) {
+        throw SpecError("Error. Macro <" + std::string(name) +
+                        "> not defined.");
+    }
+    return it->second;
+}
+
+std::string
+MacroTable::expand(std::string_view token) const
+{
+    std::string out;
+    size_t i = 0;
+    while (i < token.size()) {
+        if (token[i] != '~') {
+            out += token[i++];
+            continue;
+        }
+        ++i;
+        size_t start = i;
+        while (i < token.size() &&
+               (isLetter(token[i]) || isDigit(token[i]))) {
+            ++i;
+        }
+        out += lookup(token.substr(start, i - start));
+    }
+    return out;
+}
+
+} // namespace asim

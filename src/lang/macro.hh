@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASIM II macro table.
+ *
+ * Macros are defined near the top of a specification as `-name text`
+ * and referenced anywhere in later tokens as `~name`. A macro body may
+ * reference previously defined macros (they are expanded at definition
+ * time), so bodies stored here are always flat. Macro names follow the
+ * component-name rules (letter, then letters/digits).
+ */
+
+#ifndef ASIM_LANG_MACRO_HH
+#define ASIM_LANG_MACRO_HH
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace asim {
+
+/** Ordered macro table with `~name` expansion. */
+class MacroTable
+{
+  public:
+    /** Define a macro; `body` is stored as given (already expanded).
+     *  @throws SpecError on an invalid name or redefinition. */
+    void define(std::string_view name, std::string_view body);
+
+    /** True if `name` is defined. */
+    bool defined(std::string_view name) const;
+
+    /** Body of `name`.
+     *  @throws SpecError if undefined ("Error. Macro <x> not defined"). */
+    const std::string &lookup(std::string_view name) const;
+
+    /** Expand every `~name` occurrence in `token`. Names are maximal
+     *  letter/digit runs after `~`.
+     *  @throws SpecError on an undefined macro. */
+    std::string expand(std::string_view token) const;
+
+    size_t size() const { return table_.size(); }
+
+  private:
+    std::map<std::string, std::string, std::less<>> table_;
+};
+
+} // namespace asim
+
+#endif // ASIM_LANG_MACRO_HH

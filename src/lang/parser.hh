@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASIM II specification parser (thesis `readit` + support procedures).
+ *
+ * Includes the modularity extension the thesis calls for in §5.4
+ * ("Modularity is an important concept... expanding that description
+ * at compile time"): a module is defined once and expanded textually
+ * per instance.
+ *
+ *     D adder a b sum .      { define module `adder`, ports a b sum }
+ *     A sum 4 a b            { body: ordinary components }
+ *     E                      { end of module }
+ *     ...
+ *     U add1 adder x y z     { instantiate: a=x, b=y, sum=z }
+ *
+ * Components whose names are ports take the instantiation's actual
+ * names; internal components are prefixed with the instance name.
+ * Expanded components are appended to the declaration list
+ * automatically (untraced — star the actuals to trace them).
+ */
+
+#ifndef ASIM_LANG_PARSER_HH
+#define ASIM_LANG_PARSER_HH
+
+#include <string>
+#include <string_view>
+
+#include "lang/ast.hh"
+#include "support/logging.hh"
+
+namespace asim {
+
+/**
+ * Parse a complete specification text.
+ *
+ * @param text whole file contents
+ * @param diag optional collector for warnings (may be nullptr)
+ * @throws SpecError on any malformed construct
+ */
+Spec parseSpec(std::string_view text, Diagnostics *diag = nullptr);
+
+/** Parse a specification from a file on disk. */
+Spec parseSpecFile(const std::string &path, Diagnostics *diag = nullptr);
+
+} // namespace asim
+
+#endif // ASIM_LANG_PARSER_HH

@@ -1,0 +1,55 @@
+#include "lang/writer.hh"
+
+#include <sstream>
+
+namespace asim {
+
+std::string
+writeComponent(const Component &comp)
+{
+    std::ostringstream os;
+    os << compKindLetter(comp.kind) << ' ' << comp.name;
+    switch (comp.kind) {
+      case CompKind::Alu:
+        os << ' ' << exprToString(comp.funct)
+           << ' ' << exprToString(comp.left)
+           << ' ' << exprToString(comp.right);
+        break;
+      case CompKind::Selector:
+        os << ' ' << exprToString(comp.select);
+        for (const auto &c : comp.cases)
+            os << ' ' << exprToString(c);
+        break;
+      case CompKind::Memory:
+        os << ' ' << exprToString(comp.addr)
+           << ' ' << exprToString(comp.data)
+           << ' ' << exprToString(comp.opn);
+        if (!comp.init.empty()) {
+            os << " -" << comp.memSize;
+            for (int32_t v : comp.init)
+                os << ' ' << v;
+        } else {
+            os << ' ' << comp.memSize;
+        }
+        break;
+    }
+    return os.str();
+}
+
+std::string
+writeSpec(const Spec &spec)
+{
+    std::ostringstream os;
+    os << '#' << spec.comment << '\n';
+    if (spec.cyclesSpecified)
+        os << "= " << spec.cycles << '\n';
+    for (const auto &d : spec.decls)
+        os << d.name << (d.traced ? "*" : "") << '\n';
+    os << ".\n";
+    for (const auto &c : spec.comps)
+        os << writeComponent(c) << '\n';
+    os << ".\n";
+    return os.str();
+}
+
+} // namespace asim

@@ -1,0 +1,49 @@
+#include "machines/counter.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace asim {
+
+std::string
+counterSpec(int bits, int64_t cycles)
+{
+    if (bits < 1 || bits > 30)
+        throw SpecError("counter width must be 1..30");
+    std::ostringstream os;
+    os << "# " << bits << "-bit counter\n";
+    os << "= " << cycles << "\n";
+    os << "count* next .\n";
+    os << "A next 4 count.0." << (bits - 1) << " 1\n";
+    os << "M count 0 next 1 1\n";
+    os << ".\n";
+    return os.str();
+}
+
+std::string
+trafficLightSpec(int64_t cycles)
+{
+    std::ostringstream os;
+    os << "# traffic light controller: green 4, yellow 1, red 3\n";
+    os << "= " << cycles << "\n";
+    os << "phase* timer* timerdone phaseadv nextphase nexttimer\n";
+    os << "timerdec reload .\n";
+    // timerdone = (timer == 0)
+    os << "A timerdone 12 timer 0\n";
+    // phaseadv: next phase in the 0 -> 1 -> 2 -> 0 sequence
+    os << "S phaseadv phase.0.1 1 2 0\n";
+    // hold or advance the phase
+    os << "S nextphase timerdone.0 phase phaseadv\n";
+    // countdown, or reload for the *next* phase
+    os << "A timerdec 5 timer 1\n";
+    os << "S reload phaseadv.0.1 3 0 2\n";
+    os << "S nexttimer timerdone.0 timerdec reload\n";
+    // registers (timer starts at 3: green lasts 4 cycles, 3..0)
+    os << "M phase 0 nextphase 1 1\n";
+    os << "M timer 0 nexttimer 1 -1 3\n";
+    os << ".\n";
+    return os.str();
+}
+
+} // namespace asim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small introductory machines: an n-bit counter and a traffic-light
+ * controller. The thesis pitches ASIM II as covering "many different
+ * hardware projects ranging from a simple counter to a stack machine"
+ * (§3.2) — these are the simple-counter end of that range.
+ */
+
+#ifndef ASIM_MACHINES_COUNTER_HH
+#define ASIM_MACHINES_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace asim {
+
+/**
+ * An n-bit wrap-around counter.
+ *
+ * Components: one ALU (`next = count + 1`, masked to `bits`) and one
+ * single-cell memory holding the count.
+ *
+ * @param bits counter width (1..30)
+ * @param cycles value for the `=` directive
+ */
+std::string counterSpec(int bits, int64_t cycles);
+
+/**
+ * A three-phase traffic light: green (4 cycles), yellow (1), red (3).
+ *
+ * Demonstrates selectors as next-state logic: a countdown timer, a
+ * phase register, and selector-based reload values.
+ *
+ * @param cycles value for the `=` directive
+ */
+std::string trafficLightSpec(int64_t cycles);
+
+} // namespace asim
+
+#endif // ASIM_MACHINES_COUNTER_HH

@@ -1,0 +1,487 @@
+#include "machines/stack_machine.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace asim {
+
+namespace {
+
+/**
+ * Microcode control word. Field layout (bits of the `uc` selector
+ * value; every field is read through an explicit subfield in the
+ * specification, so this enum is the single source of truth):
+ *
+ *   0-1   RAMOP  0 read / 1 write / 2 input / 3 output
+ *   2-4   ASEL   ram address: 0 sp / 1 sp-1 / 2 sp-2 / 3 right / 4 one
+ *   5-7   DSEL   ram data: 0 alu / 1 left / 2 right / 3 prog / 4 ram
+ *   8     SPWR   stack pointer write enable
+ *   9     SPSEL  0 sp+1 / 1 sp-1
+ *   10    PCWR   program counter write enable
+ *   11-12 PCSEL  0 pc+1 / 1 bz target / 2 operand (absolute)
+ *   13    IRWR   instruction register load
+ *   14    LWR    left operand latch load
+ *   15    RWR    right operand latch load
+ *   16    LZ     alu left input forced to 0 (unary negate)
+ *   18-19 NS     next state: 0 seq / 1 dispatch / 2 fetch / 3 halt
+ */
+struct Uc
+{
+    int32_t w = 0;
+
+    Uc &ramop(int v) { w |= v << 0; return *this; }
+    Uc &asel(int v) { w |= v << 2; return *this; }
+    Uc &dsel(int v) { w |= v << 5; return *this; }
+    Uc &spInc() { w |= 1 << 8; return *this; }
+    Uc &spDec() { w |= (1 << 8) | (1 << 9); return *this; }
+    Uc &pc(int sel) { w |= (1 << 10) | (sel << 11); return *this; }
+    Uc &irwr() { w |= 1 << 13; return *this; }
+    Uc &lwr() { w |= 1 << 14; return *this; }
+    Uc &rwr() { w |= 1 << 15; return *this; }
+    Uc &lz() { w |= 1 << 16; return *this; }
+    Uc &seq() { return *this; }                    // NS = 0
+    Uc &dispatch() { w |= 1 << 18; return *this; } // NS = 1
+    Uc &fetch() { w |= 2 << 18; return *this; }    // NS = 2
+    Uc &halt() { w |= 3 << 18; return *this; }     // NS = 3
+};
+
+// ASEL values
+constexpr int kAselSp = 0;
+constexpr int kAselSpm1 = 1;
+constexpr int kAselSpm2 = 2;
+constexpr int kAselRight = 3;
+constexpr int kAselOne = 4;
+
+// DSEL values
+constexpr int kDselAlu = 0;
+constexpr int kDselLeft = 1;
+constexpr int kDselRight = 2;
+constexpr int kDselProg = 3;
+constexpr int kDselRam = 4;
+
+// PCSEL values
+constexpr int kPcInc = 0;
+constexpr int kPcBz = 1;
+constexpr int kPcProg = 2;
+
+// RAMOP values
+constexpr int kRamRead = 0;
+constexpr int kRamWrite = 1;
+constexpr int kRamInput = 2;
+constexpr int kRamOutput = 3;
+
+constexpr int kDispatchBase = 16;
+constexpr int kSlotStates = 4;
+constexpr int kNumStates = kDispatchBase + 32 * kSlotStates;
+
+/**
+ * Build the microcode ROM: common prologue states 0..3, then a 4-state
+ * slot per opcode at 16 + op*4.
+ *
+ * Timing contract (from the ASIM II cycle semantics): a RAM read
+ * issued in state T lands in the RAM output latch at the *end* of T;
+ * LWR/RWR in state T+1 capture it; combinational values (alu, operand
+ * word) used as RAM write data in state T must already rest on latches
+ * written at the end of T-1.
+ */
+std::vector<int32_t>
+buildMicrocode()
+{
+    std::vector<int32_t> rom(kNumStates, Uc{}.halt().w);
+
+    auto slot = [&](int op) { return kDispatchBase + op * kSlotStates; };
+    auto set = [&](int state, Uc uc) { rom.at(state) = uc.w; };
+
+    // Common prologue.
+    set(0, Uc{}.seq());                 // S0: fetch wait (prog reads pc)
+    set(1, Uc{}.irwr().pc(kPcInc).seq()); // S1: ir <- prog, pc++
+    set(2, Uc{}.dispatch());            // S2: state <- 16 + 4*opcode
+    set(3, Uc{}.halt());                // S3: HALT spin
+
+    // NOP
+    set(slot(kOpNop), Uc{}.fetch());
+
+    // HALT
+    set(slot(kOpHalt), Uc{}.halt());
+
+    // PUSHI: ram[sp] <- operand; sp++; pc++ (skip operand)
+    set(slot(kOpPushi), Uc{}
+        .ramop(kRamWrite).asel(kAselSp).dsel(kDselProg)
+        .spInc().pc(kPcInc).fetch());
+
+    // LOAD: pop addr, push ram[addr] (top cell reused in place)
+    set(slot(kOpLoad) + 0, Uc{}.asel(kAselSpm1).seq());
+    set(slot(kOpLoad) + 1, Uc{}.rwr().seq());
+    set(slot(kOpLoad) + 2, Uc{}.asel(kAselRight).seq());
+    set(slot(kOpLoad) + 3, Uc{}
+        .ramop(kRamWrite).asel(kAselSpm1).dsel(kDselRam).fetch());
+
+    // STORE: pop addr, pop value, ram[addr] <- value
+    set(slot(kOpStore) + 0, Uc{}.asel(kAselSpm1).spDec().seq());
+    set(slot(kOpStore) + 1, Uc{}.rwr().asel(kAselSpm1).spDec().seq());
+    set(slot(kOpStore) + 2, Uc{}.lwr().seq());
+    set(slot(kOpStore) + 3, Uc{}
+        .ramop(kRamWrite).asel(kAselRight).dsel(kDselLeft).fetch());
+
+    // Binary ALU operators: pop right, pop left, push alu(left, right).
+    for (int op : {kOpAdd, kOpSub, kOpMul, kOpAnd, kOpOr, kOpXor,
+                   kOpEq, kOpLt}) {
+        set(slot(op) + 0, Uc{}.asel(kAselSpm1).spDec().seq());
+        set(slot(op) + 1, Uc{}.rwr().asel(kAselSpm1).spDec().seq());
+        set(slot(op) + 2, Uc{}.lwr().seq());
+        set(slot(op) + 3, Uc{}
+            .ramop(kRamWrite).asel(kAselSp).dsel(kDselAlu)
+            .spInc().fetch());
+    }
+
+    // NOT: unary through the left latch (alu function 3).
+    set(slot(kOpNot) + 0, Uc{}.asel(kAselSpm1).spDec().seq());
+    set(slot(kOpNot) + 1, Uc{}.lwr().seq());
+    set(slot(kOpNot) + 2, Uc{}
+        .ramop(kRamWrite).asel(kAselSp).dsel(kDselAlu).spInc().fetch());
+
+    // NEG: unary through the right latch with the left input zeroed
+    // (alu function 5: 0 - right).
+    set(slot(kOpNeg) + 0, Uc{}.asel(kAselSpm1).spDec().seq());
+    set(slot(kOpNeg) + 1, Uc{}.rwr().seq());
+    set(slot(kOpNeg) + 2, Uc{}
+        .ramop(kRamWrite).asel(kAselSp).dsel(kDselAlu)
+        .lz().spInc().fetch());
+
+    // DUP
+    set(slot(kOpDup) + 0, Uc{}.asel(kAselSpm1).seq());
+    set(slot(kOpDup) + 1, Uc{}.lwr().seq());
+    set(slot(kOpDup) + 2, Uc{}
+        .ramop(kRamWrite).asel(kAselSp).dsel(kDselLeft)
+        .spInc().fetch());
+
+    // SWAP
+    set(slot(kOpSwap) + 0, Uc{}.asel(kAselSpm1).seq());
+    set(slot(kOpSwap) + 1, Uc{}.rwr().asel(kAselSpm2).seq());
+    set(slot(kOpSwap) + 2, Uc{}
+        .lwr().ramop(kRamWrite).asel(kAselSpm2).dsel(kDselRight).seq());
+    set(slot(kOpSwap) + 3, Uc{}
+        .ramop(kRamWrite).asel(kAselSpm1).dsel(kDselLeft).fetch());
+
+    // DROP
+    set(slot(kOpDrop), Uc{}.spDec().fetch());
+
+    // BZ: pop condition; pc <- (cond == 0) ? operand : pc+1
+    set(slot(kOpBz) + 0, Uc{}.asel(kAselSpm1).spDec().seq());
+    set(slot(kOpBz) + 1, Uc{}.rwr().seq());
+    set(slot(kOpBz) + 2, Uc{}.pc(kPcBz).fetch());
+
+    // BR: pc <- operand
+    set(slot(kOpBr), Uc{}.pc(kPcProg).fetch());
+
+    // OUT: pop value, write to I/O address 1 (integer output)
+    set(slot(kOpOut) + 0, Uc{}.asel(kAselSpm1).spDec().seq());
+    set(slot(kOpOut) + 1, Uc{}.rwr().seq());
+    set(slot(kOpOut) + 2, Uc{}
+        .ramop(kRamOutput).asel(kAselOne).dsel(kDselRight).fetch());
+
+    // IN: read I/O address 1, push
+    set(slot(kOpIn) + 0, Uc{}.ramop(kRamInput).asel(kAselOne).seq());
+    set(slot(kOpIn) + 1, Uc{}
+        .ramop(kRamWrite).asel(kAselSp).dsel(kDselRam)
+        .spInc().fetch());
+
+    return rom;
+}
+
+/** Opcode -> ALU function table for the `aluf` selector. */
+std::vector<int32_t>
+buildAluFunctions()
+{
+    std::vector<int32_t> f(32, 0);
+    f[kOpAdd] = 4;
+    f[kOpSub] = 5;
+    f[kOpMul] = 7;
+    f[kOpAnd] = 8;
+    f[kOpOr] = 9;
+    f[kOpXor] = 10;
+    f[kOpEq] = 12;
+    f[kOpLt] = 13;
+    f[kOpNot] = 3;
+    f[kOpNeg] = 5; // 0 - right via the LZ control bit
+    return f;
+}
+
+/** Smallest power of two >= n, and its bit count. */
+int
+log2ceil(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+void
+StackAssembler::pushi(int32_t v)
+{
+    emit(kOpPushi);
+    emit(v);
+}
+
+StackAssembler::Label
+StackAssembler::newLabel()
+{
+    labels_.push_back(-1);
+    return static_cast<Label>(labels_.size() - 1);
+}
+
+void
+StackAssembler::bind(Label l)
+{
+    labels_.at(l) = here();
+}
+
+void
+StackAssembler::bz(Label l)
+{
+    emit(kOpBz);
+    fixups_.emplace_back(here(), l);
+    emit(0);
+}
+
+void
+StackAssembler::br(Label l)
+{
+    emit(kOpBr);
+    fixups_.emplace_back(here(), l);
+    emit(0);
+}
+
+std::vector<int32_t>
+StackAssembler::assemble()
+{
+    for (const auto &[at, label] : fixups_) {
+        if (labels_.at(label) < 0)
+            throw SpecError("stack assembler: unbound label");
+        words_.at(at) = labels_.at(label);
+    }
+    return words_;
+}
+
+std::string
+stackMachineSpec(const std::vector<int32_t> &program, int64_t cycles,
+                 bool traced)
+{
+    const std::vector<int32_t> ucode = buildMicrocode();
+    const std::vector<int32_t> aluf = buildAluFunctions();
+
+    // Pad the program ROM to a power of two so the pc can be masked
+    // like a real address bus.
+    const int progBits =
+        log2ceil(std::max<int>(2, static_cast<int>(program.size())));
+    std::vector<int32_t> prog = program;
+    prog.resize(size_t{1} << progBits, 0);
+
+    const int stateBits = log2ceil(kNumStates);
+    const int ramBits = log2ceil(kStackRamSize);
+    const std::string star = traced ? "*" : "";
+
+    std::ostringstream os;
+    os << "# Itty Bitty Stack Machine (thesis Appendix D workload)\n";
+    os << "= " << cycles << "\n";
+    os << "state" << star << " uc nextst seqst disp pc" << star
+       << " incpc pcdata bztgt iszero\n";
+    os << "sp" << star << " spinc spdec spdec2 spdata ir" << star
+       << " left right lsel aluf alures\n";
+    os << "maddr wdata ram prog .\n";
+
+    // --- Microcode sequencer ---------------------------------------
+    os << "A seqst 4 state.0." << (stateBits - 1) << " 1\n";
+    os << "A disp 4 ir.0.4,#00 " << kDispatchBase << "\n";
+    os << "S nextst uc.18.19 seqst disp 0 " << kStackHaltState << "\n";
+    os << "M state 0 nextst.0." << (stateBits - 1) << " 1 1\n";
+    os << "S uc state.0." << (stateBits - 1);
+    for (int32_t w : ucode)
+        os << ' ' << w;
+    os << "\n";
+
+    // --- Program counter and branch unit ----------------------------
+    os << "A incpc 4 pc 1\n";
+    os << "A iszero 12 right 0\n";
+    os << "S bztgt iszero incpc prog\n";
+    os << "S pcdata uc.11.12 incpc bztgt prog incpc\n";
+    os << "M pc 0 pcdata uc.10 1\n";
+
+    // --- Stack pointer ----------------------------------------------
+    os << "A spinc 4 sp 1\n";
+    os << "A spdec 5 sp 1\n";
+    os << "A spdec2 5 sp 2\n";
+    os << "S spdata uc.9 spinc spdec\n";
+    os << "M sp 0 spdata uc.8 -1 " << kStackBase << "\n";
+
+    // --- Instruction register and operand latches -------------------
+    // (left and right are declared before ram so STORE's write data is
+    // available in the same update phase — the same declaration-order
+    // trick the thesis machine uses.)
+    os << "M ir 0 prog uc.13 1\n";
+    os << "M left 0 ram uc.14 1\n";
+    os << "M right 0 ram uc.15 1\n";
+
+    // --- ALU ---------------------------------------------------------
+    os << "S lsel uc.16 left 0\n";
+    os << "S aluf ir.0.4";
+    for (int32_t f : aluf)
+        os << ' ' << f;
+    os << "\n";
+    os << "A alures aluf lsel right\n";
+
+    // --- Stack / data RAM with memory-mapped I/O ---------------------
+    os << "S maddr uc.2.4 sp spdec spdec2 right 1\n";
+    os << "S wdata uc.5.7 alures left right prog ram\n";
+    os << "M ram maddr.0." << (ramBits - 1) << " wdata uc.0.1 "
+       << kStackRamSize << "\n";
+
+    // --- Program ROM --------------------------------------------------
+    os << "M prog pc.0." << (progBits - 1) << " 0 0 -" << prog.size();
+    for (int32_t w : prog)
+        os << ' ' << w;
+    os << "\n";
+    os << ".\n";
+    return os.str();
+}
+
+std::vector<int32_t>
+sieveProgram(int size)
+{
+    if (size < 1 || size > 100)
+        throw SpecError("sieve size must be 1..100");
+
+    // RAM layout: globals at 0.., flags array, stack from kStackBase.
+    const int vI = 0;
+    const int vCount = 1;
+    const int vPrime = 2;
+    const int vK = 3;
+    const int flags = 8;
+    if (flags + size + 1 >= kStackBase)
+        throw SpecError("sieve flags overlap the stack");
+
+    StackAssembler as;
+    auto loadVar = [&](int a) { as.pushi(a); as.load(); };
+    auto storeVar = [&](int a) { as.pushi(a); as.store(); };
+
+    // count = 0
+    as.pushi(0);
+    storeVar(vCount);
+
+    // for (i = 0; i <= size; i++) flags[i] = 1;
+    as.pushi(0);
+    storeVar(vI);
+    auto initLoop = as.newLabel();
+    auto initDone = as.newLabel();
+    as.bind(initLoop);
+    as.pushi(1);
+    as.pushi(flags);
+    loadVar(vI);
+    as.add();
+    as.store();
+    loadVar(vI);
+    as.pushi(1);
+    as.add();
+    storeVar(vI);
+    loadVar(vI);
+    as.pushi(size + 1);
+    as.lt();
+    as.bz(initDone);
+    as.br(initLoop);
+    as.bind(initDone);
+
+    // for (i = 0; i <= size; i++)
+    as.pushi(0);
+    storeVar(vI);
+    auto mainLoop = as.newLabel();
+    auto mainDone = as.newLabel();
+    auto skip = as.newLabel();
+    as.bind(mainLoop);
+
+    // if (flags[i]) {
+    as.pushi(flags);
+    loadVar(vI);
+    as.add();
+    as.load();
+    as.bz(skip);
+
+    //   prime = i + i + 3; print prime; count++;
+    loadVar(vI);
+    as.dup();
+    as.add();
+    as.pushi(3);
+    as.add();          // [prime]
+    as.dup();
+    as.out();          // print
+    as.dup();
+    storeVar(vPrime);  // [prime]
+    loadVar(vCount);
+    as.pushi(1);
+    as.add();
+    storeVar(vCount);  // [prime]
+
+    //   for (k = i + prime; k <= size; k += prime) flags[k] = 0;
+    loadVar(vI);
+    as.add();          // [i + prime]
+    storeVar(vK);
+    auto innerLoop = as.newLabel();
+    auto innerDone = as.newLabel();
+    as.bind(innerLoop);
+    loadVar(vK);
+    as.pushi(size + 1);
+    as.lt();
+    as.bz(innerDone);
+    as.pushi(0);
+    as.pushi(flags);
+    loadVar(vK);
+    as.add();
+    as.store();
+    loadVar(vK);
+    loadVar(vPrime);
+    as.add();
+    storeVar(vK);
+    as.br(innerLoop);
+    as.bind(innerDone);
+
+    // } i++
+    as.bind(skip);
+    loadVar(vI);
+    as.pushi(1);
+    as.add();
+    storeVar(vI);
+    loadVar(vI);
+    as.pushi(size + 1);
+    as.lt();
+    as.bz(mainDone);
+    as.br(mainLoop);
+    as.bind(mainDone);
+
+    // print count; halt
+    loadVar(vCount);
+    as.out();
+    as.halt();
+    return as.assemble();
+}
+
+std::vector<int32_t>
+sieveReference(int size)
+{
+    std::vector<bool> flags(size + 1, true);
+    std::vector<int32_t> out;
+    for (int i = 0; i <= size; ++i) {
+        if (!flags[i])
+            continue;
+        int prime = i + i + 3;
+        out.push_back(prime);
+        for (int k = i + prime; k <= size; k += prime)
+            flags[k] = false;
+    }
+    out.push_back(static_cast<int32_t>(out.size())); // trailing count
+    return out;
+}
+
+} // namespace asim

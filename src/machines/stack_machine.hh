@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The Itty Bitty Stack Machine (thesis Appendix D).
+ *
+ * A microcoded stack computer built purely from ASIM II primitives,
+ * structured like the thesis machine: a state register stepping
+ * through a microcode ROM (a constant selector), a single-ported
+ * stack/data RAM with left/right operand latches feeding one ALU, a
+ * program ROM with an instruction register, and memory-mapped output.
+ * The microcode ROM contents are produced by the builder in this
+ * module (the thesis' hand-assembled ROM survives only as damaged OCR,
+ * so we regenerate an equivalent machine and verify it end-to-end: it
+ * must actually print the primes).
+ *
+ * ISA (one word per opcode; PUSHI/BZ/BR take an operand word):
+ *
+ *    0 NOP   1 HALT   2 PUSHI n   3 LOAD   4 STORE   5 ADD   6 SUB
+ *    7 MUL   8 AND    9 OR       10 XOR   11 EQ     12 LT   13 NOT
+ *   14 NEG  15 DUP   16 SWAP     17 DROP  18 BZ a   19 BR a 20 OUT
+ *   21 IN
+ *
+ * Stack discipline: LOAD pops an address and pushes ram[addr]; STORE
+ * pops an address, then a value, and writes it; binary operators pop
+ * right then left and push op(left, right); BZ pops the condition and
+ * branches to the absolute operand address when it is zero; OUT pops
+ * and prints an integer (memory-mapped output at I/O address 1).
+ */
+
+#ifndef ASIM_MACHINES_STACK_MACHINE_HH
+#define ASIM_MACHINES_STACK_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asim {
+
+/** Stack machine opcodes. */
+enum StackOp : int32_t
+{
+    kOpNop = 0,
+    kOpHalt = 1,
+    kOpPushi = 2,
+    kOpLoad = 3,
+    kOpStore = 4,
+    kOpAdd = 5,
+    kOpSub = 6,
+    kOpMul = 7,
+    kOpAnd = 8,
+    kOpOr = 9,
+    kOpXor = 10,
+    kOpEq = 11,
+    kOpLt = 12,
+    kOpNot = 13,
+    kOpNeg = 14,
+    kOpDup = 15,
+    kOpSwap = 16,
+    kOpDrop = 17,
+    kOpBz = 18,
+    kOpBr = 19,
+    kOpOut = 20,
+    kOpIn = 21,
+
+    kStackOpCount = 22,
+};
+
+/** RAM size of the stack machine (stack + globals + arrays). */
+constexpr int kStackRamSize = 256;
+
+/** Initial stack pointer (the stack grows upward from here). */
+constexpr int kStackBase = 64;
+
+/** The microcode halt state: reaching it means the program executed
+ *  HALT (Engine::value("state") == kStackHaltState). */
+constexpr int32_t kStackHaltState = 3;
+
+/** Label-based assembler for the stack ISA. */
+class StackAssembler
+{
+  public:
+    using Label = int;
+
+    /// @{ Instructions
+    void nop() { emit(kOpNop); }
+    void halt() { emit(kOpHalt); }
+    void pushi(int32_t v);
+    void load() { emit(kOpLoad); }
+    void store() { emit(kOpStore); }
+    void add() { emit(kOpAdd); }
+    void sub() { emit(kOpSub); }
+    void mul() { emit(kOpMul); }
+    void bitAnd() { emit(kOpAnd); }
+    void bitOr() { emit(kOpOr); }
+    void bitXor() { emit(kOpXor); }
+    void eq() { emit(kOpEq); }
+    void lt() { emit(kOpLt); }
+    void bitNot() { emit(kOpNot); }
+    void neg() { emit(kOpNeg); }
+    void dup() { emit(kOpDup); }
+    void swap() { emit(kOpSwap); }
+    void drop() { emit(kOpDrop); }
+    void bz(Label l);
+    void br(Label l);
+    void out() { emit(kOpOut); }
+    void in() { emit(kOpIn); }
+    /// @}
+
+    /** Allocate an unbound label. */
+    Label newLabel();
+
+    /** Bind `l` to the current location. */
+    void bind(Label l);
+
+    /** Current location counter. */
+    int here() const { return static_cast<int>(words_.size()); }
+
+    /** Finish: resolve all label fixups and return the program image.
+     *  @throws SpecError on an unbound label */
+    std::vector<int32_t> assemble();
+
+  private:
+    void emit(int32_t w) { words_.push_back(w); }
+
+    std::vector<int32_t> words_;
+    std::vector<int32_t> labels_;           ///< label -> address (-1)
+    std::vector<std::pair<int, int>> fixups_; ///< (word index, label)
+};
+
+/**
+ * Render the complete stack machine specification.
+ *
+ * @param program assembled program image (padded internally to a
+ *        power of two for the ROM)
+ * @param cycles `=` directive value
+ * @param traced star the architectural registers (state, pc, sp, ir)
+ *        for per-cycle tracing
+ */
+std::string stackMachineSpec(const std::vector<int32_t> &program,
+                             int64_t cycles, bool traced = false);
+
+/**
+ * Assemble the Sieve of Eratosthenes (thesis Appendix D workload).
+ *
+ * Sieves the odd numbers 3, 5, ..., 2*size+3, printing each prime via
+ * memory-mapped output, then the count of primes, then halting.
+ */
+std::vector<int32_t> sieveProgram(int size);
+
+/** Host-side reference: the primes the sieve should print. */
+std::vector<int32_t> sieveReference(int size);
+
+/** Thesis Figure 5.1 cycle budget ("5545 cycles"). */
+constexpr int64_t kThesisSieveCycles = 5545;
+
+/** Sieve size used in the reproduction benches; sized so the machine
+ *  is still busy at the thesis' 5545-cycle budget. */
+constexpr int kBenchSieveSize = 20;
+
+} // namespace asim
+
+#endif // ASIM_MACHINES_STACK_MACHINE_HH

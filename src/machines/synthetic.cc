@@ -1,0 +1,255 @@
+#include "machines/synthetic.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "lang/writer.hh"
+#include "support/bitops.hh"
+
+namespace asim {
+
+namespace {
+
+class Generator
+{
+  public:
+    explicit Generator(const SyntheticOptions &opts)
+        : opts_(opts), rng_(opts.seed)
+    {}
+
+    Spec
+    run()
+    {
+        spec_.comment = " synthetic spec seed " +
+                        std::to_string(opts_.seed);
+        spec_.cycles = 64;
+        spec_.cyclesSpecified = true;
+
+        // Memories first so combinational components can reference
+        // their latches from the start.
+        for (int i = 0; i < opts_.memories; ++i)
+            addMemoryName();
+        int combTotal = opts_.alus + opts_.selectors;
+        std::vector<CompKind> kinds;
+        for (int i = 0; i < opts_.alus; ++i)
+            kinds.push_back(CompKind::Alu);
+        for (int i = 0; i < opts_.selectors; ++i)
+            kinds.push_back(CompKind::Selector);
+        std::shuffle(kinds.begin(), kinds.end(), rng_);
+
+        for (int i = 0; i < combTotal; ++i) {
+            if (kinds[i] == CompKind::Alu)
+                addAlu(i);
+            else
+                addSelector(i);
+        }
+        for (int i = 0; i < opts_.memories; ++i)
+            defineMemory(i);
+
+        // Declarations, with a random subset starred.
+        for (const auto &c : spec_.comps) {
+            DeclName d;
+            d.name = c.name;
+            d.traced = pct(opts_.tracedPercent);
+            spec_.decls.push_back(std::move(d));
+        }
+        return std::move(spec_);
+    }
+
+  private:
+    bool pct(int p) { return static_cast<int>(rng_() % 100) < p; }
+
+    int
+    uniform(int lo, int hi)
+    {
+        return lo + static_cast<int>(rng_() % (hi - lo + 1));
+    }
+
+    Term
+    constTerm(int width)
+    {
+        Term t;
+        t.kind = Term::Kind::Const;
+        t.value = uniform(0, (1 << std::min(width, 16)) - 1);
+        t.width = width;
+        return t;
+    }
+
+    /** A reference term with an explicit subfield of `width` bits. */
+    Term
+    refTerm(int width)
+    {
+        Term t;
+        t.kind = Term::Kind::Ref;
+        // Choose among already-defined combinational components and
+        // any memory (memory latches never create cycles).
+        if (!combNames_.empty() && (memNames_.empty() || pct(60))) {
+            t.ref = combNames_[uniform(
+                0, static_cast<int>(combNames_.size()) - 1)];
+        } else if (!memNames_.empty()) {
+            t.ref = memNames_[uniform(
+                0, static_cast<int>(memNames_.size()) - 1)];
+        } else {
+            return constTerm(width);
+        }
+        t.from = uniform(0, 8);
+        t.to = t.from + width - 1;
+        if (width == 1 && pct(50))
+            t.to = -1; // single-bit form `name.f`
+        return t;
+    }
+
+    /** Random expression totalling exactly `width` bits. */
+    Expr
+    expr(int width)
+    {
+        Expr e;
+        int remaining = width;
+        while (remaining > 0) {
+            int w = uniform(1, std::min(remaining, 6));
+            if (remaining - w == 1)
+                w = remaining; // avoid awkward 1-bit tails sometimes
+            switch (uniform(0, 2)) {
+              case 0:
+                e.terms.push_back(constTerm(w));
+                break;
+              case 1: {
+                Term t;
+                t.kind = Term::Kind::BitString;
+                t.width = w;
+                t.value = uniform(0, (1 << w) - 1);
+                e.terms.push_back(t);
+                break;
+              }
+              default:
+                e.terms.push_back(refTerm(w));
+                break;
+            }
+            remaining -= w;
+        }
+        e.source = exprToString(e);
+        return e;
+    }
+
+    void
+    addMemoryName()
+    {
+        memNames_.push_back("mem" +
+                            std::to_string(memNames_.size()));
+    }
+
+    void
+    addAlu(int i)
+    {
+        Component c;
+        c.kind = CompKind::Alu;
+        c.name = "alu" + std::to_string(i);
+        if (pct(opts_.dynamicFunctPercent) &&
+            (!combNames_.empty() || !memNames_.empty())) {
+            // Dynamic function: a 3-bit subfield, always in 0..7.
+            Expr f;
+            f.terms.push_back(refTerm(3));
+            f.source = exprToString(f);
+            c.funct = f;
+        } else {
+            Expr f;
+            Term t;
+            t.kind = Term::Kind::Const;
+            t.value = uniform(0, 13);
+            t.width = -1;
+            f.terms.push_back(t);
+            f.source = exprToString(f);
+            c.funct = f;
+        }
+        c.left = expr(uniform(1, 12));
+        c.right = expr(uniform(1, 12));
+        spec_.comps.push_back(c);
+        combNames_.push_back(c.name);
+    }
+
+    void
+    addSelector(int i)
+    {
+        Component c;
+        c.kind = CompKind::Selector;
+        c.name = "sel" + std::to_string(i);
+        // k-bit index, 2^k cases: always in range.
+        int k = uniform(1, 3);
+        Expr s;
+        s.terms.push_back(refTerm(k));
+        if (s.terms[0].kind != Term::Kind::Ref) {
+            // refTerm degraded to a constant (no components yet);
+            // constant index is masked to k bits and stays in range.
+            s.terms[0].width = k;
+        }
+        s.source = exprToString(s);
+        c.select = s;
+        for (int j = 0; j < (1 << k); ++j)
+            c.cases.push_back(expr(uniform(1, 10)));
+        spec_.comps.push_back(c);
+        combNames_.push_back(c.name);
+    }
+
+    void
+    defineMemory(int i)
+    {
+        Component c;
+        c.kind = CompKind::Memory;
+        c.name = memNames_[i];
+        int bits = uniform(2, 6);
+        c.memSize = 1 << bits;
+        // Address: subfield of `bits` bits — always in range.
+        c.addr = expr(bits);
+        c.data = expr(uniform(1, 12));
+        // Operation: constants (read/write with optional trace bits)
+        // or a dynamic 2-bit field; I/O ops only when allowed.
+        int roll = uniform(0, 9);
+        if (roll < 3) {
+            c.opn = expr(2); // dynamic 0..3 (includes I/O)
+            if (!opts_.withIo) {
+                // Constrain to 1 bit: read/write only.
+                c.opn = expr(1);
+            }
+        } else {
+            static const int32_t kOps[] = {0, 1, 1, 0, 5, 9, 1, 0, 2, 3};
+            int32_t op = kOps[roll];
+            if (!opts_.withIo && (op == 2 || op == 3))
+                op = land(op, 1);
+            Expr f;
+            Term t;
+            t.kind = Term::Kind::Const;
+            t.value = op;
+            t.width = -1;
+            f.terms.push_back(t);
+            f.source = exprToString(f);
+            c.opn = f;
+        }
+        if (pct(40)) {
+            for (int64_t j = 0; j < c.memSize; ++j)
+                c.init.push_back(uniform(0, 4095));
+        }
+        spec_.comps.push_back(c);
+    }
+
+    SyntheticOptions opts_;
+    std::mt19937 rng_;
+    Spec spec_;
+    std::vector<std::string> combNames_;
+    std::vector<std::string> memNames_;
+};
+
+} // namespace
+
+Spec
+generateSynthetic(const SyntheticOptions &opts)
+{
+    return Generator(opts).run();
+}
+
+std::string
+generateSyntheticText(const SyntheticOptions &opts)
+{
+    return writeSpec(generateSynthetic(opts));
+}
+
+} // namespace asim

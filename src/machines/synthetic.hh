@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random-specification generator.
+ *
+ * Produces valid, acyclic, runtime-safe specifications for the
+ * engine-equivalence property tests (interpreter == VM == generated
+ * C++) and for the scaling benchmarks. Safety by construction:
+ * selector indexes are subfields narrower than the case count, memory
+ * addresses are subfields narrower than the memory size, and dynamic
+ * ALU functions are 3-bit subfields (0..7, all valid).
+ */
+
+#ifndef ASIM_MACHINES_SYNTHETIC_HH
+#define ASIM_MACHINES_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "lang/ast.hh"
+
+namespace asim {
+
+/** Generation parameters. */
+struct SyntheticOptions
+{
+    int alus = 8;
+    int selectors = 4;
+    int memories = 3;
+    uint32_t seed = 1;
+
+    /** Allow input/output memory operations (feed a VectorIo). */
+    bool withIo = true;
+
+    /** Fraction (0..100) of ALUs with a non-constant function. */
+    int dynamicFunctPercent = 25;
+
+    /** Star roughly this fraction (0..100) of components. */
+    int tracedPercent = 30;
+};
+
+/** Generate a specification AST. */
+Spec generateSynthetic(const SyntheticOptions &opts);
+
+/** Generate and serialize (exercises the full text pipeline). */
+std::string generateSyntheticText(const SyntheticOptions &opts);
+
+} // namespace asim
+
+#endif // ASIM_MACHINES_SYNTHETIC_HH

@@ -1,0 +1,186 @@
+#include "machines/tiny_computer.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace asim {
+
+int
+TinyAssembler::emit(int opcode, int addr)
+{
+    if (addr < 0 || addr >= kTinyMemWords)
+        throw SpecError("tiny computer address out of range");
+    return word(static_cast<int32_t>((opcode << 7) | addr));
+}
+
+int
+TinyAssembler::word(int32_t v)
+{
+    if (here() >= kTinyMemWords)
+        throw SpecError("tiny computer program exceeds 128 words");
+    words_.push_back(v);
+    return here() - 1;
+}
+
+void
+TinyAssembler::patchAddr(int at, int addr)
+{
+    words_.at(at) =
+        static_cast<int32_t>((words_.at(at) & ~0x7f) | (addr & 0x7f));
+}
+
+std::vector<int32_t>
+TinyAssembler::image() const
+{
+    std::vector<int32_t> img = words_;
+    img.resize(kTinyMemWords, 0);
+    return img;
+}
+
+std::string
+tinyComputerSpec(const std::vector<int32_t> &memImage, int64_t cycles)
+{
+    if (memImage.size() != kTinyMemWords)
+        throw SpecError("tiny computer memory image must be 128 words");
+
+    std::ostringstream os;
+    os << "# tiny 10-bit computer (thesis Appendix F): "
+          "ld st bb br su\n";
+    os << "= " << cycles << "\n";
+    os << "state phase nextst pc* incpc newpc dojump cond ir*\n";
+    os << "opdec acsel acld acwr memop ma alu bnew bwr\n";
+    os << "ac* borrow* memory .\n";
+
+    // Phase counter: 2-bit state, one-hot phase word.
+    os << "A nextst 4 state.0.1 1\n";
+    os << "S phase state.0.1 %0001 %0010 %0100 %1000\n";
+    os << "M state 0 nextst.0.1 1 1\n";
+
+    // Decode ROM: opcode -> control bits
+    //   bit0 memory write @p2 (ST)   bit1 ac load @p3 (LD)
+    //   bit2 ac subtract @p3 (SU)    bit3 jump always (BR)
+    //   bit4 jump on borrow (BB)
+    os << "S opdec ir.7.9 0 0 2 1 16 8 4 0\n";
+
+    // Program counter.
+    os << "A incpc 4 pc 1\n";
+    os << "S cond opdec.4 0 borrow\n";
+    os << "S dojump opdec.3 cond 1\n";
+    os << "S newpc dojump.0 incpc ir.0.6\n";
+    os << "M pc 0 newpc.0.6 phase.2 1\n";
+
+    // Instruction register, loaded in phase 1.
+    os << "M ir 0 memory phase.1 1\n";
+
+    // Memory: fetch at pc, operand access at ir's address field.
+    os << "S ma phase.2 pc ir.0.6\n";
+    os << "A memop 8 opdec.0 phase.2\n";
+    os << "M memory ma.0.6 ac memop -" << kTinyMemWords;
+    for (int32_t w : memImage)
+        os << ' ' << w;
+    os << "\n";
+
+    // Accumulator: load or subtract in phase 3.
+    os << "A alu 5 ac memory\n";
+    os << "S acsel opdec.2 memory alu\n";
+    os << "A acld 9 opdec.1 opdec.2\n";
+    os << "A acwr 8 acld phase.3\n";
+    os << "M ac 0 acsel acwr 1\n";
+
+    // Borrow flip-flop, set by subtract.
+    os << "A bnew 13 ac memory\n";
+    os << "A bwr 8 opdec.2 phase.3\n";
+    os << "M borrow 0 bnew bwr 1\n";
+    os << ".\n";
+    return os.str();
+}
+
+std::vector<int32_t>
+tinyModProgram(int32_t a, int32_t b, int &resultAddr)
+{
+    TinyAssembler as;
+    // Data cells are placed after the code; reserve the layout first
+    // by assembling with a dummy address and patching.
+    //
+    //   loop: LD a
+    //         SU b        ; ac = a - b, borrow = (a < b)
+    //         BB done     ; a < b -> a is the remainder
+    //         ST a        ; a = a - b
+    //         BR loop
+    //   done: BR done
+    const int loop = as.here();
+    const int i0 = as.ld(0);
+    const int i1 = as.su(0);
+    const int i2 = as.bb(0);
+    const int i3 = as.st(0);
+    as.br(loop);
+    const int done = as.here();
+    as.br(done);
+    const int cellA = as.cell(a);
+    const int cellB = as.cell(b);
+    as.patchAddr(i0, cellA);
+    as.patchAddr(i1, cellB);
+    as.patchAddr(i2, done);
+    as.patchAddr(i3, cellA);
+    resultAddr = cellA;
+    return as.image();
+}
+
+std::vector<int32_t>
+tinyMulProgram(int32_t a, int32_t b, int &resultAddr)
+{
+    TinyAssembler as;
+    //   acc = 0; negA = 0 - a
+    //   for (cnt = b; cnt >= 1; --cnt) acc = acc - negA;
+    //
+    //         LD zero
+    //         SU a        ; ac = -a
+    //         ST negA
+    //   loop: LD cnt
+    //         SU one      ; borrow when cnt == 0
+    //         BB done
+    //         ST cnt
+    //         LD acc
+    //         SU negA     ; acc + a
+    //         ST acc
+    //         BR loop
+    //   done: BR done
+    const int i0 = as.ld(0);
+    const int i1 = as.su(0);
+    const int i2 = as.st(0);
+    const int loop = as.here();
+    const int i3 = as.ld(0);
+    const int i4 = as.su(0);
+    const int i5 = as.bb(0);
+    const int i6 = as.st(0);
+    const int i7 = as.ld(0);
+    const int i8 = as.su(0);
+    const int i9 = as.st(0);
+    as.br(loop);
+    const int done = as.here();
+    as.br(done);
+
+    const int cellZero = as.cell(0);
+    const int cellOne = as.cell(1);
+    const int cellA = as.cell(a);
+    const int cellCnt = as.cell(b);
+    const int cellNegA = as.cell(0);
+    const int cellAcc = as.cell(0);
+
+    as.patchAddr(i0, cellZero);
+    as.patchAddr(i1, cellA);
+    as.patchAddr(i2, cellNegA);
+    as.patchAddr(i3, cellCnt);
+    as.patchAddr(i4, cellOne);
+    as.patchAddr(i5, done);
+    as.patchAddr(i6, cellCnt);
+    as.patchAddr(i7, cellAcc);
+    as.patchAddr(i8, cellNegA);
+    as.patchAddr(i9, cellAcc);
+
+    resultAddr = cellAcc;
+    return as.image();
+}
+
+} // namespace asim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The tiny 10-bit computer of thesis Appendix F.
+ *
+ * A 10-bit-word accumulator machine with five instructions — load,
+ * store, branch, branch-on-borrow, subtract — and 128 words of unified
+ * program/data memory, built (like the thesis version) purely from
+ * ASIM II primitives: a 2-bit phase counter, an instruction register,
+ * an opcode-decode ROM expressed as a constant selector, and a
+ * subtract ALU with a borrow flip-flop.
+ *
+ * Instruction format: 3-bit opcode (bits 7..9), 7-bit address
+ * (bits 0..6). Opcodes follow the thesis macro values (~LD 256 etc.):
+ *
+ *     2 LD a   ac <- mem[a]
+ *     3 ST a   mem[a] <- ac
+ *     4 BB a   if borrow then pc <- a
+ *     5 BR a   pc <- a
+ *     6 SU a   ac <- ac - mem[a]; borrow <- (ac < mem[a])
+ *
+ * Every instruction takes four phases: fetch issue, instruction load,
+ * operand access / pc update, accumulator writeback.
+ */
+
+#ifndef ASIM_MACHINES_TINY_COMPUTER_HH
+#define ASIM_MACHINES_TINY_COMPUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asim {
+
+/** Number of memory words in the tiny computer. */
+constexpr int kTinyMemWords = 128;
+
+/** Cycles per instruction (four phases). */
+constexpr int kTinyPhases = 4;
+
+/** Assembler for the five-instruction ISA. */
+class TinyAssembler
+{
+  public:
+    /// @{ Emit one instruction; returns its word address.
+    int ld(int addr) { return emit(2, addr); }
+    int st(int addr) { return emit(3, addr); }
+    int bb(int addr) { return emit(4, addr); }
+    int br(int addr) { return emit(5, addr); }
+    int su(int addr) { return emit(6, addr); }
+    /// @}
+
+    /** Emit a raw data word; returns its address. */
+    int word(int32_t v);
+
+    /** Current location counter. */
+    int here() const { return static_cast<int>(words_.size()); }
+
+    /** Reserve a cell initialized to `v` and return its address. */
+    int cell(int32_t v) { return word(v); }
+
+    /** Patch the address field of the instruction at `at`. */
+    void patchAddr(int at, int addr);
+
+    /** The memory image, padded with zeros to kTinyMemWords. */
+    std::vector<int32_t> image() const;
+
+  private:
+    int emit(int opcode, int addr);
+    std::vector<int32_t> words_;
+};
+
+/** Render the complete tiny-computer specification around a memory
+ *  image. @param cycles `=` directive value */
+std::string tinyComputerSpec(const std::vector<int32_t> &memImage,
+                             int64_t cycles);
+
+/** Demo program: computes `a mod b` by repeated subtraction; the
+ *  result is left in the cell returned via `resultAddr`. */
+std::vector<int32_t> tinyModProgram(int32_t a, int32_t b,
+                                    int &resultAddr);
+
+/** Demo program: computes `a * b` by repeated addition (synthesized
+ *  from subtract: x + y == x - (0 - y)); result via `resultAddr`. */
+std::vector<int32_t> tinyMulProgram(int32_t a, int32_t b,
+                                    int &resultAddr);
+
+} // namespace asim
+
+#endif // ASIM_MACHINES_TINY_COMPUTER_HH

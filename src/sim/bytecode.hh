@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Bytecode for the compiled simulation engine.
+ *
+ * The compiler (sim/compiler.hh) lowers a ResolvedSpec into three
+ * linear instruction streams — combinational, latch, update — executed
+ * in order once per cycle. Field extractions are fused into single
+ * instructions (`acc += shift(value & mask)`), constants are folded,
+ * ALUs with constant functions get direct opcodes (no dologic
+ * dispatch), memories with constant operations get specialized
+ * opcodes, all-constant selectors become direct table lookups (the
+ * microcode-ROM pattern), and single-term expressions fuse with their
+ * destination (store/latch). This mirrors, in a portable form, the
+ * optimizations the thesis applied to generated Pascal (§4.4).
+ *
+ * Hot-path data (instruction stream, constant tables) is separated
+ * from cold diagnostic data (component names for error messages and
+ * trace events), which lives in side tables indexed by the `c` field.
+ */
+
+#ifndef ASIM_SIM_BYTECODE_HH
+#define ASIM_SIM_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asim {
+
+/** VM opcodes. Scratch registers s0..s3 hold expression values. */
+enum class Op : uint8_t
+{
+    // Expression evaluation into a scratch register.
+    SetC,       ///< s[reg] = a
+    LoadVar,    ///< s[reg] = shift(vars[idx] & a, b)
+    LoadTemp,   ///< s[reg] = shift(mems[idx].temp & a, b)
+    AccVar,     ///< s[reg] += shift(vars[idx] & a, b)
+    AccTemp,    ///< s[reg] += shift(mems[idx].temp & a, b)
+
+    // ALU evaluation (operands in s1/s2 unless noted).
+    AluGen,     ///< vars[idx] = dologic(s0, s1, s2)
+    AluConst,   ///< vars[idx] = dologic(a, s1, s2)
+    AluZero,    ///< vars[idx] = 0
+    AluRight,   ///< vars[idx] = s2
+    AluLeft,    ///< vars[idx] = s1
+    AluNot,     ///< vars[idx] = mask - s1
+    AluAdd,     ///< vars[idx] = s1 + s2
+    AluSub,     ///< vars[idx] = s1 - s2
+    AluMul,     ///< vars[idx] = s1 * s2
+    AluAnd,     ///< vars[idx] = s1 & s2
+    AluOr,      ///< vars[idx] = s1 | s2
+    AluXor,     ///< vars[idx] = s1 ^ s2
+    AluEq,      ///< vars[idx] = s1 == s2
+    AluLt,      ///< vars[idx] = s1 < s2
+
+    // Stores (selector case results, folded components).
+    StoreS,     ///< vars[idx] = s[reg]
+    StoreC,     ///< vars[idx] = a
+    StoreFVar,  ///< vars[idx] = shift(vars[c] & a, b)
+    StoreFTemp, ///< vars[idx] = shift(mems[c].temp & a, b)
+
+    // Selectors.
+    Switch,     ///< jump via jumpTable[a + s0]; b = count, c = selInfo
+    Jump,       ///< pc = a
+    SelTable,   ///< vars[idx] = constTable[a + s0]; b = count,
+                ///< c = selInfo
+
+    // Memory latch phase.
+    MemAdr,     ///< mems[idx].adr = s0
+    MemOpn,     ///< mems[idx].opn = s0
+    MemAdrC,    ///< mems[idx].adr = a
+    MemOpnC,    ///< mems[idx].opn = a
+    MemAdrFVar, ///< mems[idx].adr = shift(vars[c] & a, b)
+    MemAdrFTemp,///< mems[idx].adr = shift(mems[c].temp & a, b)
+    MemOpnFVar, ///< mems[idx].opn = shift(vars[c] & a, b)
+    MemOpnFTemp,///< mems[idx].opn = shift(mems[c].temp & a, b)
+
+    // Memory update phase. `reg` carries VmMemFlags.
+    MemRead,    ///< specialized operation 0
+    MemWrite,   ///< specialized operation 1, data in s1
+    MemInput,   ///< specialized operation 2
+    MemOutput,  ///< specialized operation 3, data in s1
+    MemGenPre,  ///< generic: handle op 0/2 then jump a; else fall thru
+    MemGenData, ///< generic: finish op 1/3 with data in s1
+};
+
+/** Per-memory flag bits carried in Instr::reg for memory opcodes. */
+enum VmMemFlags : uint8_t
+{
+    kMemFlagTraceW = 1,    ///< trace writes (check or uncond.)
+    kMemFlagTraceR = 2,    ///< trace reads
+    kMemFlagElideTemp = 4, ///< §5.4: skip the unobserved latch
+};
+
+/** One VM instruction (16 bytes). */
+struct Instr
+{
+    Op op = Op::SetC;
+    uint8_t reg = 0;
+    uint16_t idx = 0;
+    int32_t a = 0;
+    int32_t b = 0;
+    int32_t c = 0;
+};
+
+/** Selector cold data (bounds diagnostics). */
+struct SelInfo
+{
+    std::string name;
+    int32_t caseCount = 0;
+};
+
+/** Per-memory cold data (names for traces and errors). */
+struct VmMemInfo
+{
+    std::string name;
+};
+
+/** A compiled program. */
+struct Program
+{
+    std::vector<Instr> comb;
+    std::vector<Instr> latch;
+    std::vector<Instr> update;
+    std::vector<uint32_t> jumpTable;
+    std::vector<int32_t> constTable;
+    std::vector<SelInfo> selInfos;
+    std::vector<VmMemInfo> memInfos;
+
+    size_t
+    totalInstructions() const
+    {
+        return comb.size() + latch.size() + update.size();
+    }
+
+    /** Human-readable disassembly (debugging, tests, tools). */
+    std::string disassemble() const;
+};
+
+/** Name of an opcode (used by the disassembler). */
+const char *opName(Op op);
+
+} // namespace asim
+
+#endif // ASIM_SIM_BYTECODE_HH

@@ -1,0 +1,454 @@
+#include "sim/compiler.hh"
+
+#include <set>
+#include <sstream>
+
+#include "lang/alu_ops.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace asim {
+
+namespace {
+
+/** Which ALU operands a given constant function actually reads —
+ *  mirrors the thesis' inline expansions, which only emit the
+ *  expressions they need. */
+void
+aluOperandNeeds(int32_t funct, bool &needL, bool &needR)
+{
+    switch (funct) {
+      case kAluZero:
+      case kAluUnused:
+        needL = needR = false;
+        break;
+      case kAluRight:
+        needL = false;
+        needR = true;
+        break;
+      case kAluLeft:
+      case kAluNot:
+        needL = true;
+        needR = false;
+        break;
+      default:
+        needL = needR = true;
+        break;
+    }
+}
+
+/** Direct opcode for a constant ALU function; AluConst for the two
+ *  that keep the generic handler (Shl depends on AluSemantics). */
+Op
+aluDirectOp(int32_t funct)
+{
+    switch (funct) {
+      case kAluZero:
+      case kAluUnused:
+        return Op::AluZero;
+      case kAluRight:
+        return Op::AluRight;
+      case kAluLeft:
+        return Op::AluLeft;
+      case kAluNot:
+        return Op::AluNot;
+      case kAluAdd:
+        return Op::AluAdd;
+      case kAluSub:
+        return Op::AluSub;
+      case kAluMul:
+        return Op::AluMul;
+      case kAluAnd:
+        return Op::AluAnd;
+      case kAluOr:
+        return Op::AluOr;
+      case kAluXor:
+        return Op::AluXor;
+      case kAluEq:
+        return Op::AluEq;
+      case kAluLt:
+        return Op::AluLt;
+      default:
+        return Op::AluConst;
+    }
+}
+
+class Compiler
+{
+  public:
+    Compiler(const ResolvedSpec &rs, const CompilerOptions &opts,
+             bool tracingPossible)
+        : rs_(rs), opts_(opts), tracing_(tracingPossible)
+    {}
+
+    Program
+    run()
+    {
+        findUnobservedTemps();
+        for (const auto &c : rs_.comb) {
+            if (c.kind == CompKind::Alu)
+                compileAlu(c);
+            else
+                compileSelector(c);
+        }
+        compileMemories();
+        return std::move(prog_);
+    }
+
+  private:
+    /** Emit code evaluating `e` into scratch register `reg`. */
+    void
+    compileExpr(std::vector<Instr> &code, const ResolvedExpr &e,
+                uint8_t reg)
+    {
+        if (e.isConstant()) {
+            code.push_back({Op::SetC, reg, 0, e.constTotal, 0, 0});
+            return;
+        }
+        bool first = true;
+        if (e.constTotal != 0) {
+            code.push_back({Op::SetC, reg, 0, e.constTotal, 0, 0});
+            first = false;
+        }
+        for (const auto &t : e.terms) {
+            Op op;
+            if (t.bank == ResolvedTerm::Bank::Var)
+                op = first ? Op::LoadVar : Op::AccVar;
+            else
+                op = first ? Op::LoadTemp : Op::AccTemp;
+            first = false;
+            code.push_back({op, reg, static_cast<uint16_t>(t.slot),
+                            t.mask, t.shift, 0});
+        }
+    }
+
+    /** True if `e` is a pure single-field expression (one term, no
+     *  constant part) — fusable with its destination. */
+    static bool
+    singleField(const ResolvedExpr &e)
+    {
+        return e.terms.size() == 1 && e.constTotal == 0;
+    }
+
+    /** Emit `vars[dst] = e`, fusing constants and single fields. */
+    void
+    compileStoreVar(std::vector<Instr> &code, const ResolvedExpr &e,
+                    uint16_t dst)
+    {
+        if (e.isConstant()) {
+            code.push_back({Op::StoreC, 0, dst, e.constTotal, 0, 0});
+            return;
+        }
+        if (singleField(e)) {
+            const ResolvedTerm &t = e.terms[0];
+            Op op = t.bank == ResolvedTerm::Bank::Var ? Op::StoreFVar
+                                                      : Op::StoreFTemp;
+            code.push_back({op, 0, dst, t.mask, t.shift, t.slot});
+            return;
+        }
+        compileExpr(code, e, 1);
+        code.push_back({Op::StoreS, 1, dst, 0, 0, 0});
+    }
+
+    /** Emit a latch (`mems[m].adr/opn = e`) with the same fusions. */
+    void
+    compileLatch(std::vector<Instr> &code, const ResolvedExpr &e,
+                 uint16_t mem, bool isAdr)
+    {
+        if (e.isConstant()) {
+            code.push_back({isAdr ? Op::MemAdrC : Op::MemOpnC, 0, mem,
+                            e.constTotal, 0, 0});
+            return;
+        }
+        if (singleField(e)) {
+            const ResolvedTerm &t = e.terms[0];
+            Op op;
+            if (t.bank == ResolvedTerm::Bank::Var)
+                op = isAdr ? Op::MemAdrFVar : Op::MemOpnFVar;
+            else
+                op = isAdr ? Op::MemAdrFTemp : Op::MemOpnFTemp;
+            code.push_back({op, 0, mem, t.mask, t.shift, t.slot});
+            return;
+        }
+        compileExpr(code, e, 0);
+        code.push_back(
+            {isAdr ? Op::MemAdr : Op::MemOpn, 0, mem, 0, 0, 0});
+    }
+
+    void
+    compileAlu(const CombComp &c)
+    {
+        auto &code = prog_.comb;
+        const auto slot = static_cast<uint16_t>(c.slot);
+
+        if (c.functConst && opts_.inlineConstAlu) {
+            bool needL = true, needR = true;
+            aluOperandNeeds(c.functValue, needL, needR);
+
+            // Full constant folding when every needed operand is
+            // constant (except Shl, whose thesis semantics depend on
+            // the run-time AluSemantics configuration).
+            int32_t lv = 0, rv = 0;
+            bool lc = !needL || c.left.isConstant();
+            bool rc = !needR || c.right.isConstant();
+            if (needL && c.left.isConstant())
+                lv = c.left.constTotal;
+            if (needR && c.right.isConstant())
+                rv = c.right.constTotal;
+            if (lc && rc && c.functValue != kAluShl) {
+                int32_t v = dologic(c.functValue, lv, rv);
+                code.push_back({Op::StoreC, 0, slot, v, 0, 0});
+                return;
+            }
+
+            if (needL)
+                compileExpr(code, c.left, 1);
+            if (needR)
+                compileExpr(code, c.right, 2);
+            Op direct = aluDirectOp(c.functValue);
+            code.push_back({direct, 0, slot,
+                            direct == Op::AluConst ? c.functValue : 0,
+                            0, 0});
+            return;
+        }
+
+        compileExpr(code, c.funct, 0);
+        compileExpr(code, c.left, 1);
+        compileExpr(code, c.right, 2);
+        code.push_back({Op::AluGen, 0, slot, 0, 0, 0});
+    }
+
+    void
+    compileSelector(const CombComp &c)
+    {
+        auto &code = prog_.comb;
+        const auto slot = static_cast<uint16_t>(c.slot);
+
+        prog_.selInfos.push_back(
+            {c.name, static_cast<int32_t>(c.cases.size())});
+        const auto selIdx =
+            static_cast<int32_t>(prog_.selInfos.size() - 1);
+        const auto count = static_cast<int32_t>(c.cases.size());
+
+        // Microcode-ROM pattern: all cases constant -> table lookup.
+        bool allConst = true;
+        for (const auto &e : c.cases) {
+            if (!e.isConstant()) {
+                allConst = false;
+                break;
+            }
+        }
+        if (allConst && opts_.constSelectorTables) {
+            const auto base =
+                static_cast<int32_t>(prog_.constTable.size());
+            for (const auto &e : c.cases)
+                prog_.constTable.push_back(e.constTotal);
+            compileExpr(code, c.select, 0);
+            code.push_back(
+                {Op::SelTable, 0, slot, base, count, selIdx});
+            return;
+        }
+
+        // General form: switch over a jump table of case blocks.
+        compileExpr(code, c.select, 0);
+        const auto base = static_cast<int32_t>(prog_.jumpTable.size());
+        prog_.jumpTable.resize(base + c.cases.size());
+        code.push_back({Op::Switch, 0, slot, base, count, selIdx});
+
+        std::vector<size_t> jumpFixups;
+        for (size_t i = 0; i < c.cases.size(); ++i) {
+            prog_.jumpTable[base + i] =
+                static_cast<uint32_t>(code.size());
+            compileStoreVar(code, c.cases[i], slot);
+            if (i + 1 != c.cases.size()) {
+                jumpFixups.push_back(code.size());
+                code.push_back({Op::Jump, 0, 0, 0, 0, 0});
+            }
+        }
+        const auto end = static_cast<int32_t>(code.size());
+        for (size_t at : jumpFixups)
+            code[at].a = end;
+    }
+
+    /** §5.4 heuristic: a memory's output latch can be skipped when no
+     *  expression reads it, it is not traced, and its traced-access
+     *  messages never print it. */
+    void
+    findUnobservedTemps()
+    {
+        observedTemps_.clear();
+        auto note = [&](const ResolvedExpr &e) {
+            for (const auto &t : e.terms) {
+                if (t.bank == ResolvedTerm::Bank::MemTemp)
+                    observedTemps_.insert(t.slot);
+            }
+        };
+        for (const auto &c : rs_.comb) {
+            note(c.funct);
+            note(c.left);
+            note(c.right);
+            note(c.select);
+            for (const auto &e : c.cases)
+                note(e);
+        }
+        for (const auto &m : rs_.mems) {
+            note(m.addr);
+            note(m.data);
+            note(m.opn);
+        }
+        for (const auto &t : rs_.traceList) {
+            if (t.isMem)
+                observedTemps_.insert(t.slot);
+        }
+    }
+
+    void
+    compileMemories()
+    {
+        // Latch phase: address and operation of every memory.
+        for (const auto &m : rs_.mems) {
+            const auto idx = static_cast<uint16_t>(m.index);
+            compileLatch(prog_.latch, m.addr, idx, true);
+            compileLatch(prog_.latch, m.opn, idx, false);
+        }
+
+        // Update phase, declaration order.
+        for (const auto &m : rs_.mems) {
+            const auto idx = static_cast<uint16_t>(m.index);
+            prog_.memInfos.push_back({m.name});
+
+            const bool mayTrace =
+                tracing_ &&
+                (m.traceWrites != MemDesc::TraceMode::Never ||
+                 m.traceReads != MemDesc::TraceMode::Never);
+            uint8_t flags = 0;
+            if (tracing_ && m.traceWrites != MemDesc::TraceMode::Never)
+                flags |= kMemFlagTraceW;
+            if (tracing_ && m.traceReads != MemDesc::TraceMode::Never)
+                flags |= kMemFlagTraceR;
+            if (opts_.elideUnusedTemps &&
+                !observedTemps_.count(m.index) && !mayTrace) {
+                flags |= kMemFlagElideTemp;
+            }
+
+            if (m.opnConst && opts_.specializeConstMem) {
+                switch (land(m.opnValue, 3)) {
+                  case mem_op::kRead:
+                    prog_.update.push_back(
+                        {Op::MemRead, flags, idx, 0, 0, 0});
+                    break;
+                  case mem_op::kWrite:
+                    compileExpr(prog_.update, m.data, 1);
+                    prog_.update.push_back(
+                        {Op::MemWrite, flags, idx, 0, 0, 0});
+                    break;
+                  case mem_op::kInput:
+                    prog_.update.push_back(
+                        {Op::MemInput, flags, idx, 0, 0, 0});
+                    break;
+                  case mem_op::kOutput:
+                    compileExpr(prog_.update, m.data, 1);
+                    prog_.update.push_back(
+                        {Op::MemOutput, flags, idx, 0, 0, 0});
+                    break;
+                }
+            } else {
+                const size_t preAt = prog_.update.size();
+                prog_.update.push_back(
+                    {Op::MemGenPre, flags, idx, 0, 0, 0});
+                compileExpr(prog_.update, m.data, 1);
+                prog_.update.push_back(
+                    {Op::MemGenData, flags, idx, 0, 0, 0});
+                prog_.update[preAt].a =
+                    static_cast<int32_t>(prog_.update.size());
+            }
+        }
+    }
+
+    const ResolvedSpec &rs_;
+    CompilerOptions opts_;
+    bool tracing_;
+    Program prog_;
+    std::set<int> observedTemps_;
+};
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::SetC: return "setc";
+      case Op::LoadVar: return "ldv";
+      case Op::LoadTemp: return "ldt";
+      case Op::AccVar: return "accv";
+      case Op::AccTemp: return "acct";
+      case Op::AluGen: return "alu.gen";
+      case Op::AluConst: return "alu.const";
+      case Op::AluZero: return "alu.zero";
+      case Op::AluRight: return "alu.right";
+      case Op::AluLeft: return "alu.left";
+      case Op::AluNot: return "alu.not";
+      case Op::AluAdd: return "alu.add";
+      case Op::AluSub: return "alu.sub";
+      case Op::AluMul: return "alu.mul";
+      case Op::AluAnd: return "alu.and";
+      case Op::AluOr: return "alu.or";
+      case Op::AluXor: return "alu.xor";
+      case Op::AluEq: return "alu.eq";
+      case Op::AluLt: return "alu.lt";
+      case Op::StoreS: return "st";
+      case Op::StoreC: return "stc";
+      case Op::StoreFVar: return "stfv";
+      case Op::StoreFTemp: return "stft";
+      case Op::Switch: return "switch";
+      case Op::Jump: return "jmp";
+      case Op::SelTable: return "seltab";
+      case Op::MemAdr: return "madr";
+      case Op::MemOpn: return "mopn";
+      case Op::MemAdrC: return "madrc";
+      case Op::MemOpnC: return "mopnc";
+      case Op::MemAdrFVar: return "madrfv";
+      case Op::MemAdrFTemp: return "madrft";
+      case Op::MemOpnFVar: return "mopnfv";
+      case Op::MemOpnFTemp: return "mopnft";
+      case Op::MemRead: return "mem.rd";
+      case Op::MemWrite: return "mem.wr";
+      case Op::MemInput: return "mem.in";
+      case Op::MemOutput: return "mem.out";
+      case Op::MemGenPre: return "mem.pre";
+      case Op::MemGenData: return "mem.fin";
+    }
+    return "?";
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    auto dump = [&](const char *title, const std::vector<Instr> &code) {
+        os << title << ":\n";
+        for (size_t i = 0; i < code.size(); ++i) {
+            const Instr &in = code[i];
+            os << "  " << i << ": " << opName(in.op) << " r"
+               << int(in.reg) << " #" << in.idx << " a=" << in.a
+               << " b=" << in.b << " c=" << in.c << "\n";
+        }
+    };
+    dump("comb", comb);
+    dump("latch", latch);
+    dump("update", update);
+    os << "jumpTable: " << jumpTable.size()
+       << " entries, constTable: " << constTable.size()
+       << " entries\n";
+    return os.str();
+}
+
+Program
+compileProgram(const ResolvedSpec &rs, const CompilerOptions &opts,
+               bool tracingPossible)
+{
+    return Compiler(rs, opts, tracingPossible).run();
+}
+
+} // namespace asim

@@ -1,0 +1,72 @@
+#include "sim/engine.hh"
+
+namespace asim {
+
+Engine::Engine(const ResolvedSpec &rs, const EngineConfig &cfg)
+    : rs_(rs), cfg_(cfg), io_(cfg.io ? cfg.io : &nullIo_)
+{
+    stats_.mems.clear();
+    for (const auto &m : rs.mems) {
+        MemStats ms;
+        ms.name = m.name;
+        stats_.mems.push_back(std::move(ms));
+    }
+    state_.reset(rs_);
+}
+
+void
+Engine::reset()
+{
+    state_.reset(rs_);
+    stats_.reset();
+    cycle_ = 0;
+}
+
+void
+Engine::run(uint64_t cycles)
+{
+    for (uint64_t i = 0; i < cycles; ++i)
+        step();
+}
+
+void
+Engine::traceCycle()
+{
+    if (!cfg_.trace)
+        return;
+    cfg_.trace->beginCycle(cycle_);
+    for (const auto &item : rs_.traceList) {
+        int32_t v = item.isMem ? state_.mems[item.slot].temp
+                               : state_.vars[item.slot];
+        cfg_.trace->value(item.name, v);
+    }
+    cfg_.trace->endCycle();
+}
+
+int32_t
+Engine::value(std::string_view name) const
+{
+    int vs = rs_.varSlot(name);
+    if (vs >= 0)
+        return state_.vars[vs];
+    int mi = rs_.memIndex(name);
+    if (mi >= 0)
+        return state_.mems[mi].temp;
+    throw SimError("unknown component <" + std::string(name) + ">");
+}
+
+int32_t
+Engine::memCell(std::string_view mem, int64_t addr) const
+{
+    int mi = rs_.memIndex(mem);
+    if (mi < 0)
+        throw SimError("unknown memory <" + std::string(mem) + ">");
+    const auto &cells = state_.mems[mi].cells;
+    if (addr < 0 || addr >= static_cast<int64_t>(cells.size())) {
+        throw SimError("address " + std::to_string(addr) +
+                       " outside memory " + std::string(mem));
+    }
+    return cells[addr];
+}
+
+} // namespace asim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Engine interface: the common face of the three execution systems.
+ *
+ *  - Interpreter  — the ASIM baseline: walks resolved expression
+ *                   tables every cycle.
+ *  - Vm           — the portable ASIM II analog: executes a compiled
+ *                   bytecode program.
+ *  - native codegen (codegen/native.hh) — the ASIM II pipeline proper:
+ *    generated C++ compiled by the host compiler and run out of
+ *    process.
+ *
+ * All engines implement the identical cycle semantics (DESIGN.md §3)
+ * and are cross-checked by equivalence property tests.
+ */
+
+#ifndef ASIM_SIM_ENGINE_HH
+#define ASIM_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "analysis/resolve.hh"
+#include "lang/alu_ops.hh"
+#include "sim/io.hh"
+#include "sim/state.hh"
+#include "sim/trace.hh"
+#include "support/stats.hh"
+
+namespace asim {
+
+/** Options shared by all engines. */
+struct EngineConfig
+{
+    /** ALU shift-left edge case semantics. */
+    AluSemantics aluSemantics = AluSemantics::Thesis;
+
+    /** Trace sink; nullptr disables tracing entirely. */
+    TraceSink *trace = nullptr;
+
+    /** I/O device; nullptr behaves like NullIo. */
+    IoDevice *io = nullptr;
+
+    /** Collect access statistics (small overhead when enabled). */
+    bool collectStats = true;
+};
+
+/** A loaded simulation ready to run. Owns a copy of the resolved
+ *  specification, so temporaries may be passed safely:
+ *  `makeVm(resolveText(text))`. */
+class Engine
+{
+  public:
+    explicit Engine(const ResolvedSpec &rs, const EngineConfig &cfg);
+    virtual ~Engine() = default;
+
+    /** Re-initialize all state ("All components are initialized to
+     *  zero...") and reset statistics and the cycle counter. */
+    virtual void reset();
+
+    /** Execute exactly one cycle. @throws SimError on runtime faults */
+    virtual void step() = 0;
+
+    /** Execute `cycles` cycles. */
+    void run(uint64_t cycles);
+
+    /** Cycles executed since the last reset. */
+    uint64_t cycle() const { return cycle_; }
+
+    const MachineState &state() const { return state_; }
+    MachineState &state() { return state_; }
+
+    const SimStats &stats() const { return stats_; }
+
+    const ResolvedSpec &resolved() const { return rs_; }
+
+    /** Current observable value of a component: a combinational output
+     *  or a memory's output latch. @throws SimError on unknown name */
+    int32_t value(std::string_view name) const;
+
+    /** Read one cell of a memory. @throws SimError on bad name/addr */
+    int32_t memCell(std::string_view mem, int64_t addr) const;
+
+  protected:
+    /** Emit the per-cycle trace line for the starred components. */
+    void traceCycle();
+
+    ResolvedSpec rs_;
+    EngineConfig cfg_;
+    MachineState state_;
+    SimStats stats_;
+    NullIo nullIo_;
+    IoDevice *io_;
+    uint64_t cycle_ = 0;
+};
+
+/** Build the table-walking interpreter (ASIM analog). */
+std::unique_ptr<Engine> makeInterpreter(const ResolvedSpec &rs,
+                                        const EngineConfig &cfg = {});
+
+/** Options for the bytecode compiler (see sim/compiler.hh). */
+struct CompilerOptions
+{
+    /** Inline ALUs whose function expression is constant (§4.4). */
+    bool inlineConstAlu = true;
+
+    /** Specialize memories whose operation is constant (§4.4). */
+    bool specializeConstMem = true;
+
+    /** Replace selectors whose case list is all-constant by a direct
+     *  table lookup (the microcode-ROM pattern). */
+    bool constSelectorTables = true;
+
+    /** Skip the output latch for memories nobody reads (§5.4 "further
+     *  optimization ... heuristics to determine which memories do not
+     *  need temporary variables"). */
+    bool elideUnusedTemps = false;
+};
+
+/** Build the bytecode VM (portable ASIM II analog). */
+std::unique_ptr<Engine> makeVm(const ResolvedSpec &rs,
+                               const EngineConfig &cfg = {},
+                               const CompilerOptions &opts = {});
+
+} // namespace asim
+
+#endif // ASIM_SIM_ENGINE_HH

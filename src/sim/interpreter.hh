@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The table-walking interpreter — our ASIM baseline.
+ *
+ * ASIM "reads the specification into tables, and produces a simulation
+ * run by interpreting the symbols in the table" (thesis §3.1). This
+ * engine does the same: each cycle it walks the resolved component
+ * tables, re-evaluating every expression term and dispatching the
+ * generic `dologic` for every ALU. No specialization, no fusion — the
+ * honest baseline that ASIM II is measured against in Figure 5.1.
+ */
+
+#ifndef ASIM_SIM_INTERPRETER_HH
+#define ASIM_SIM_INTERPRETER_HH
+
+#include "sim/engine.hh"
+
+namespace asim {
+
+/** See file comment. Construct via makeInterpreter(). */
+class Interpreter : public Engine
+{
+  public:
+    Interpreter(const ResolvedSpec &rs, const EngineConfig &cfg);
+
+    void step() override;
+
+  private:
+    int32_t eval(const ResolvedExpr &e) const;
+    void evalCombinational();
+    void latchMemories();
+    void updateMemories();
+};
+
+} // namespace asim
+
+#endif // ASIM_SIM_INTERPRETER_HH

@@ -1,0 +1,69 @@
+#include "sim/io.hh"
+
+#include <sstream>
+
+namespace asim {
+
+std::string
+formatOutput(int32_t address, int32_t data)
+{
+    std::ostringstream os;
+    if (address == 0)
+        os << static_cast<char>(data & 0xff) << '\n';
+    else if (address == 1)
+        os << data << '\n';
+    else
+        os << "Output to address " << address << ": " << data << '\n';
+    return os.str();
+}
+
+int32_t
+StreamIo::input(int32_t address)
+{
+    if (address == 0) {
+        char c = 0;
+        in_->get(c);
+        return static_cast<unsigned char>(c);
+    }
+    if (address != 1)
+        *out_ << "Input from address " << address << ": ";
+    int32_t v = 0;
+    *in_ >> v;
+    return v;
+}
+
+void
+StreamIo::output(int32_t address, int32_t data)
+{
+    *out_ << formatOutput(address, data);
+}
+
+int32_t
+VectorIo::input(int32_t)
+{
+    if (inputs_.empty())
+        return 0;
+    int32_t v = inputs_.front();
+    inputs_.pop_front();
+    return v;
+}
+
+void
+VectorIo::output(int32_t address, int32_t data)
+{
+    outputs_.emplace_back(address, data);
+    text_ += formatOutput(address, data);
+}
+
+std::vector<int32_t>
+VectorIo::outputsAt(int32_t address) const
+{
+    std::vector<int32_t> out;
+    for (const auto &[a, d] : outputs_) {
+        if (a == address)
+            out.push_back(d);
+    }
+    return out;
+}
+
+} // namespace asim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Memory-mapped I/O devices (thesis §4.5, generated `sinput` /
+ * `soutput`).
+ *
+ * Memory operations 2 (input) and 3 (output) route through an
+ * IoDevice. The thesis semantics, by I/O address:
+ *   - address 0: data is a character
+ *   - address 1: data is an integer
+ *   - otherwise: data is an integer and the address is reported
+ */
+
+#ifndef ASIM_SIM_IO_HH
+#define ASIM_SIM_IO_HH
+
+#include <cstdint>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asim {
+
+/** Abstract memory-mapped I/O device. */
+class IoDevice
+{
+  public:
+    virtual ~IoDevice() = default;
+
+    /** Memory operation 2: produce an input value for `address`. */
+    virtual int32_t input(int32_t address) = 0;
+
+    /** Memory operation 3: consume an output value for `address`. */
+    virtual void output(int32_t address, int32_t data) = 0;
+};
+
+/** Discards output, supplies zero input. */
+class NullIo : public IoDevice
+{
+  public:
+    int32_t input(int32_t) override { return 0; }
+    void output(int32_t, int32_t) override {}
+};
+
+/**
+ * Stream-backed device with the exact thesis text formats:
+ *   output addr 0:  `<chr(data)>\n`
+ *   output addr 1:  `<data>\n`
+ *   output other:   `Output to address <a>: <data>\n`
+ *   input  other:   prompts `Input from address <a>: ` before reading
+ */
+class StreamIo : public IoDevice
+{
+  public:
+    StreamIo(std::istream &in, std::ostream &out)
+        : in_(&in), out_(&out)
+    {}
+
+    int32_t input(int32_t address) override;
+    void output(int32_t address, int32_t data) override;
+
+  private:
+    std::istream *in_;
+    std::ostream *out_;
+};
+
+/**
+ * Programmatic device for tests and harnesses: inputs are drawn from a
+ * queue (zero when exhausted), outputs are recorded as (address, data)
+ * pairs and also rendered in the thesis text format.
+ */
+class VectorIo : public IoDevice
+{
+  public:
+    /** Queue a value to be returned by the next input(). */
+    void pushInput(int32_t v) { inputs_.push_back(v); }
+
+    int32_t input(int32_t address) override;
+    void output(int32_t address, int32_t data) override;
+
+    const std::vector<std::pair<int32_t, int32_t>> &
+    outputs() const
+    {
+        return outputs_;
+    }
+
+    /** Just the data values written to `address`. */
+    std::vector<int32_t> outputsAt(int32_t address) const;
+
+    /** Thesis-format rendering of everything output so far. */
+    const std::string &text() const { return text_; }
+
+    void
+    clear()
+    {
+        inputs_.clear();
+        outputs_.clear();
+        text_.clear();
+    }
+
+  private:
+    std::deque<int32_t> inputs_;
+    std::vector<std::pair<int32_t, int32_t>> outputs_;
+    std::string text_;
+};
+
+/** Render one output event in the thesis text format. */
+std::string formatOutput(int32_t address, int32_t data);
+
+} // namespace asim
+
+#endif // ASIM_SIM_IO_HH

@@ -1,0 +1,22 @@
+#include "sim/state.hh"
+
+namespace asim {
+
+void
+MachineState::reset(const ResolvedSpec &rs)
+{
+    vars.assign(rs.numVarSlots, 0);
+    mems.clear();
+    mems.resize(rs.mems.size());
+    for (size_t i = 0; i < rs.mems.size(); ++i) {
+        const MemDesc &m = rs.mems[i];
+        mems[i].cells.assign(static_cast<size_t>(m.size), 0);
+        for (size_t j = 0; j < m.init.size(); ++j)
+            mems[i].cells[j] = m.init[j];
+        mems[i].temp = 0;
+        mems[i].adr = 0;
+        mems[i].opn = 0;
+    }
+}
+
+} // namespace asim

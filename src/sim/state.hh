@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine state shared by all engines.
+ *
+ * Combinational outputs live in a flat var array; each memory carries
+ * its cell array plus the output latch (`temp` — the thesis'
+ * temp<name>, "similar to the memory buffer register in actual
+ * hardware") and the per-cycle address/operation latches.
+ */
+
+#ifndef ASIM_SIM_STATE_HH
+#define ASIM_SIM_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/resolve.hh"
+
+namespace asim {
+
+/** One memory's storage and latches. */
+struct MemoryState
+{
+    std::vector<int32_t> cells;
+    int32_t temp = 0;  ///< output latch (one-cycle delay)
+    int32_t adr = 0;   ///< latched address
+    int32_t opn = 0;   ///< latched operation
+
+    bool operator==(const MemoryState &) const = default;
+};
+
+/** Complete simulator state. */
+struct MachineState
+{
+    std::vector<int32_t> vars;
+    std::vector<MemoryState> mems;
+
+    /** Size and zero/initialize all storage for `rs` ("All components
+     *  are initialized to zero before simulation begins (except
+     *  memories with initial values listed)"). */
+    void reset(const ResolvedSpec &rs);
+
+    bool operator==(const MachineState &) const = default;
+};
+
+} // namespace asim
+
+#endif // ASIM_SIM_STATE_HH

@@ -1,0 +1,38 @@
+#include "sim/trace.hh"
+
+#include <iomanip>
+
+namespace asim {
+
+void
+StreamTrace::beginCycle(uint64_t cycle)
+{
+    // Pascal `write('Cycle ', cyclecount:3)`.
+    *os_ << "Cycle " << std::setw(3) << cycle;
+}
+
+void
+StreamTrace::value(std::string_view name, int32_t v)
+{
+    *os_ << ' ' << name << "= " << v;
+}
+
+void
+StreamTrace::endCycle()
+{
+    *os_ << '\n';
+}
+
+void
+StreamTrace::memWrite(std::string_view mem, int32_t addr, int32_t v)
+{
+    *os_ << "Write to " << mem << " at " << addr << ": " << v << '\n';
+}
+
+void
+StreamTrace::memRead(std::string_view mem, int32_t addr, int32_t v)
+{
+    *os_ << "Read from " << mem << " at " << addr << ": " << v << '\n';
+}
+
+} // namespace asim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace sinks.
+ *
+ * Every cycle the simulator prints a line with the cycle number and
+ * the values of all starred components, and memory operations with the
+ * trace bits set report reads and writes. The thesis text formats
+ * (from the generated Pascal):
+ *
+ *     Cycle <n:3> <name>= <v> <name>= <v> ...
+ *     Write to <mem> at <addr>: <value>
+ *     Read from <mem> at <addr>: <value>
+ */
+
+#ifndef ASIM_SIM_TRACE_HH
+#define ASIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iostream>
+#include <string_view>
+
+namespace asim {
+
+/** Callback interface for trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Start of the per-cycle trace line. */
+    virtual void beginCycle(uint64_t cycle) = 0;
+
+    /** One starred component's value. */
+    virtual void value(std::string_view name, int32_t v) = 0;
+
+    /** End of the per-cycle trace line. */
+    virtual void endCycle() = 0;
+
+    /** A traced memory write (operation bit 2). */
+    virtual void memWrite(std::string_view mem, int32_t addr,
+                          int32_t v) = 0;
+
+    /** A traced memory read (operation bit 3). */
+    virtual void memRead(std::string_view mem, int32_t addr,
+                         int32_t v) = 0;
+};
+
+/** Swallows everything. */
+class NullTrace : public TraceSink
+{
+  public:
+    void beginCycle(uint64_t) override {}
+    void value(std::string_view, int32_t) override {}
+    void endCycle() override {}
+    void memWrite(std::string_view, int32_t, int32_t) override {}
+    void memRead(std::string_view, int32_t, int32_t) override {}
+};
+
+/** Renders the thesis text format onto a stream. */
+class StreamTrace : public TraceSink
+{
+  public:
+    explicit StreamTrace(std::ostream &os)
+        : os_(&os)
+    {}
+
+    void beginCycle(uint64_t cycle) override;
+    void value(std::string_view name, int32_t v) override;
+    void endCycle() override;
+    void memWrite(std::string_view mem, int32_t addr,
+                  int32_t v) override;
+    void memRead(std::string_view mem, int32_t addr,
+                 int32_t v) override;
+
+  private:
+    std::ostream *os_;
+};
+
+} // namespace asim
+
+#endif // ASIM_SIM_TRACE_HH

@@ -1,0 +1,356 @@
+#include "sim/vm.hh"
+
+#include "sim/compiler.hh"
+#include "support/bitops.hh"
+
+namespace asim {
+
+Vm::Vm(const ResolvedSpec &rs, const EngineConfig &cfg,
+       const CompilerOptions &opts)
+    : Engine(rs, cfg),
+      // Compile from the engine's own copy (rs_), never the caller's
+      // argument, which may be a temporary.
+      prog_(compileProgram(rs_, opts, cfg.trace != nullptr))
+{}
+
+void
+Vm::checkAddr(const MemoryState &ms, uint16_t idx) const
+{
+    if (ms.adr < 0 ||
+        ms.adr >= static_cast<int32_t>(ms.cells.size())) {
+        throw SimError("memory " + prog_.memInfos[idx].name +
+                       " address " + std::to_string(ms.adr) +
+                       " outside 0.." +
+                       std::to_string(ms.cells.size() - 1) + " (cycle " +
+                       std::to_string(cycle_) + ")");
+    }
+}
+
+void
+Vm::selFail(const Instr &in) const
+{
+    const SelInfo &si = prog_.selInfos[in.c];
+    throw SimError("selector " + si.name + " index " +
+                   std::to_string(s_[0]) + " outside its " +
+                   std::to_string(si.caseCount) + " cases (cycle " +
+                   std::to_string(cycle_) + ")");
+}
+
+void
+Vm::memTrace(const MemoryState &ms, const Instr &in) const
+{
+    // Cold path: only reached when the compiler left a trace flag on
+    // the instruction, which implies a sink was configured.
+    if (in.reg & kMemFlagTraceW) {
+        if (land(ms.opn, 5) == 5) {
+            cfg_.trace->memWrite(prog_.memInfos[in.idx].name, ms.adr,
+                                 ms.temp);
+        }
+    }
+    if (in.reg & kMemFlagTraceR) {
+        if (land(ms.opn, 9) == 8) {
+            cfg_.trace->memRead(prog_.memInfos[in.idx].name, ms.adr,
+                                ms.temp);
+        }
+    }
+}
+
+void
+Vm::exec(const std::vector<Instr> &code)
+{
+    auto *vars = state_.vars.data();
+    auto *mems = state_.mems.data();
+    const Instr *ip = code.data();
+    const Instr *const base = ip;
+    const Instr *const end = ip + code.size();
+
+    while (ip < end) {
+        const Instr &in = *ip;
+        switch (in.op) {
+          case Op::SetC:
+            s_[in.reg] = in.a;
+            ++ip;
+            break;
+          case Op::LoadVar:
+            s_[in.reg] = shiftField(land(vars[in.idx], in.a), in.b);
+            ++ip;
+            break;
+          case Op::LoadTemp:
+            s_[in.reg] =
+                shiftField(land(mems[in.idx].temp, in.a), in.b);
+            ++ip;
+            break;
+          case Op::AccVar:
+            s_[in.reg] = wadd(
+                s_[in.reg], shiftField(land(vars[in.idx], in.a), in.b));
+            ++ip;
+            break;
+          case Op::AccTemp:
+            s_[in.reg] =
+                wadd(s_[in.reg],
+                     shiftField(land(mems[in.idx].temp, in.a), in.b));
+            ++ip;
+            break;
+
+          case Op::AluGen:
+            vars[in.idx] =
+                dologic(s_[0], s_[1], s_[2], cfg_.aluSemantics);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluConst:
+            vars[in.idx] =
+                dologic(in.a, s_[1], s_[2], cfg_.aluSemantics);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluZero:
+            vars[in.idx] = 0;
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluRight:
+            vars[in.idx] = s_[2];
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluLeft:
+            vars[in.idx] = s_[1];
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluNot:
+            vars[in.idx] = wsub(kValueMask, s_[1]);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluAdd:
+            vars[in.idx] = wadd(s_[1], s_[2]);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluSub:
+            vars[in.idx] = wsub(s_[1], s_[2]);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluMul:
+            vars[in.idx] = wmul(s_[1], s_[2]);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluAnd:
+            vars[in.idx] = land(s_[1], s_[2]);
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluOr:
+            vars[in.idx] = wsub(wadd(s_[1], s_[2]), land(s_[1], s_[2]));
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluXor:
+            vars[in.idx] = wsub(wadd(s_[1], s_[2]),
+                                wmul(land(s_[1], s_[2]), 2));
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluEq:
+            vars[in.idx] = s_[1] == s_[2] ? 1 : 0;
+            bumpAlu();
+            ++ip;
+            break;
+          case Op::AluLt:
+            vars[in.idx] = s_[1] < s_[2] ? 1 : 0;
+            bumpAlu();
+            ++ip;
+            break;
+
+          case Op::StoreS:
+            vars[in.idx] = s_[in.reg];
+            ++ip;
+            break;
+          case Op::StoreC:
+            vars[in.idx] = in.a;
+            ++ip;
+            break;
+          case Op::StoreFVar:
+            vars[in.idx] = shiftField(land(vars[in.c], in.a), in.b);
+            ++ip;
+            break;
+          case Op::StoreFTemp:
+            vars[in.idx] =
+                shiftField(land(mems[in.c].temp, in.a), in.b);
+            ++ip;
+            break;
+
+          case Op::Switch:
+            if (static_cast<uint32_t>(s_[0]) >=
+                static_cast<uint32_t>(in.b)) {
+                selFail(in);
+            }
+            bumpSel();
+            ip = base + prog_.jumpTable[in.a + s_[0]];
+            break;
+          case Op::Jump:
+            ip = base + in.a;
+            break;
+          case Op::SelTable:
+            if (static_cast<uint32_t>(s_[0]) >=
+                static_cast<uint32_t>(in.b)) {
+                selFail(in);
+            }
+            bumpSel();
+            vars[in.idx] = prog_.constTable[in.a + s_[0]];
+            ++ip;
+            break;
+
+          case Op::MemAdr:
+            mems[in.idx].adr = s_[0];
+            ++ip;
+            break;
+          case Op::MemOpn:
+            mems[in.idx].opn = s_[0];
+            ++ip;
+            break;
+          case Op::MemAdrC:
+            mems[in.idx].adr = in.a;
+            ++ip;
+            break;
+          case Op::MemOpnC:
+            mems[in.idx].opn = in.a;
+            ++ip;
+            break;
+          case Op::MemAdrFVar:
+            mems[in.idx].adr =
+                shiftField(land(vars[in.c], in.a), in.b);
+            ++ip;
+            break;
+          case Op::MemAdrFTemp:
+            mems[in.idx].adr =
+                shiftField(land(mems[in.c].temp, in.a), in.b);
+            ++ip;
+            break;
+          case Op::MemOpnFVar:
+            mems[in.idx].opn =
+                shiftField(land(vars[in.c], in.a), in.b);
+            ++ip;
+            break;
+          case Op::MemOpnFTemp:
+            mems[in.idx].opn =
+                shiftField(land(mems[in.c].temp, in.a), in.b);
+            ++ip;
+            break;
+
+          case Op::MemRead: {
+            MemoryState &ms = mems[in.idx];
+            checkAddr(ms, in.idx);
+            if (!(in.reg & kMemFlagElideTemp))
+                ms.temp = ms.cells[ms.adr];
+            if (cfg_.collectStats)
+                ++stats_.mems[in.idx].reads;
+            if (in.reg & (kMemFlagTraceW | kMemFlagTraceR))
+                memTrace(ms, in);
+            ++ip;
+            break;
+          }
+          case Op::MemWrite: {
+            MemoryState &ms = mems[in.idx];
+            checkAddr(ms, in.idx);
+            ms.temp = s_[1];
+            ms.cells[ms.adr] = s_[1];
+            if (cfg_.collectStats)
+                ++stats_.mems[in.idx].writes;
+            if (in.reg & (kMemFlagTraceW | kMemFlagTraceR))
+                memTrace(ms, in);
+            ++ip;
+            break;
+          }
+          case Op::MemInput: {
+            MemoryState &ms = mems[in.idx];
+            ms.temp = io_->input(ms.adr);
+            if (cfg_.collectStats)
+                ++stats_.mems[in.idx].inputs;
+            if (in.reg & (kMemFlagTraceW | kMemFlagTraceR))
+                memTrace(ms, in);
+            ++ip;
+            break;
+          }
+          case Op::MemOutput: {
+            MemoryState &ms = mems[in.idx];
+            ms.temp = s_[1];
+            io_->output(ms.adr, s_[1]);
+            if (cfg_.collectStats)
+                ++stats_.mems[in.idx].outputs;
+            if (in.reg & (kMemFlagTraceW | kMemFlagTraceR))
+                memTrace(ms, in);
+            ++ip;
+            break;
+          }
+          case Op::MemGenPre: {
+            MemoryState &ms = mems[in.idx];
+            const int32_t op = land(ms.opn, 3);
+            if (op == mem_op::kWrite || op == mem_op::kOutput) {
+                ++ip; // fall through to the data expression code
+                break;
+            }
+            if (op == mem_op::kRead) {
+                checkAddr(ms, in.idx);
+                if (!(in.reg & kMemFlagElideTemp))
+                    ms.temp = ms.cells[ms.adr];
+                if (cfg_.collectStats)
+                    ++stats_.mems[in.idx].reads;
+            } else { // input
+                ms.temp = io_->input(ms.adr);
+                if (cfg_.collectStats)
+                    ++stats_.mems[in.idx].inputs;
+            }
+            if (in.reg & (kMemFlagTraceW | kMemFlagTraceR))
+                memTrace(ms, in);
+            ip = base + in.a;
+            break;
+          }
+          case Op::MemGenData: {
+            MemoryState &ms = mems[in.idx];
+            const int32_t op = land(ms.opn, 3);
+            if (op == mem_op::kWrite)
+                checkAddr(ms, in.idx); // before the latch is touched
+            ms.temp = s_[1];
+            if (op == mem_op::kWrite) {
+                ms.cells[ms.adr] = s_[1];
+                if (cfg_.collectStats)
+                    ++stats_.mems[in.idx].writes;
+            } else { // output
+                io_->output(ms.adr, s_[1]);
+                if (cfg_.collectStats)
+                    ++stats_.mems[in.idx].outputs;
+            }
+            if (in.reg & (kMemFlagTraceW | kMemFlagTraceR))
+                memTrace(ms, in);
+            ++ip;
+            break;
+          }
+        }
+    }
+}
+
+void
+Vm::step()
+{
+    exec(prog_.comb);
+    traceCycle();
+    exec(prog_.latch);
+    exec(prog_.update);
+    ++cycle_;
+    if (cfg_.collectStats)
+        ++stats_.cycles;
+}
+
+std::unique_ptr<Engine>
+makeVm(const ResolvedSpec &rs, const EngineConfig &cfg,
+       const CompilerOptions &opts)
+{
+    return std::make_unique<Vm>(rs, cfg, opts);
+}
+
+} // namespace asim

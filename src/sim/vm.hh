@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bytecode VM engine (see sim/bytecode.hh).
+ */
+
+#ifndef ASIM_SIM_VM_HH
+#define ASIM_SIM_VM_HH
+
+#include "sim/bytecode.hh"
+#include "sim/engine.hh"
+
+namespace asim {
+
+/** The compiled-execution engine. Construct via makeVm(). */
+class Vm : public Engine
+{
+  public:
+    Vm(const ResolvedSpec &rs, const EngineConfig &cfg,
+       const CompilerOptions &opts);
+
+    void step() override;
+
+    /** The compiled program (for inspection and tests). */
+    const Program &program() const { return prog_; }
+
+  private:
+    void exec(const std::vector<Instr> &code);
+
+    /** Bounds-check a latched address; throws SimError. */
+    void checkAddr(const MemoryState &ms, uint16_t idx) const;
+
+    /** Selector bounds failure (cold path); throws SimError. */
+    [[noreturn]] void selFail(const Instr &in) const;
+
+    /** Runtime trace checks (cold path, flag-gated). */
+    void memTrace(const MemoryState &ms, const Instr &in) const;
+
+    void
+    bumpAlu()
+    {
+        if (cfg_.collectStats)
+            ++stats_.aluEvals;
+    }
+
+    void
+    bumpSel()
+    {
+        if (cfg_.collectStats)
+            ++stats_.selEvals;
+    }
+
+    Program prog_;
+    int32_t s_[4] = {0, 0, 0, 0};
+};
+
+} // namespace asim
+
+#endif // ASIM_SIM_VM_HH

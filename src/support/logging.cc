@@ -1,0 +1,15 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asim {
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace asim

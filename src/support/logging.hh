@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error reporting and diagnostics for the ASIM II toolchain.
+ *
+ * Follows the gem5 fatal-vs-panic discipline:
+ *   - SpecError: the *user's* specification is wrong (bad syntax,
+ *     undefined component, circular dependency). Equivalent of the
+ *     thesis' "Error. ..." messages that abort code generation.
+ *   - SimError: a runtime condition detected while simulating (selector
+ *     index beyond its case list, memory address out of range).
+ *     Equivalent of the thesis' Pascal runtime errors, but diagnosable.
+ *   - panic(): an internal invariant of this library was violated.
+ */
+
+#ifndef ASIM_SUPPORT_LOGGING_HH
+#define ASIM_SUPPORT_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace asim {
+
+/** Raised when a specification is malformed. Mirrors the thesis'
+ *  compile-time "Error." messages (no code is generated). */
+class SpecError : public std::runtime_error
+{
+  public:
+    explicit SpecError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raised when simulation hits a runtime fault (bad selector index,
+ *  memory address out of declared range, unknown ALU function). */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Abort with an internal-bug message. Never the user's fault. */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Collector for non-fatal warnings ("declared but not defined",
+ * "defined but not declared", ...). The thesis printed these to the
+ * terminal and carried on; we collect them so that tools and tests can
+ * inspect them, and optionally echo to a stream.
+ */
+class Diagnostics
+{
+  public:
+    /** Record one warning message. */
+    void warn(const std::string &msg) { warnings_.push_back(msg); }
+
+    /** All warnings recorded so far, in order. */
+    const std::vector<std::string> &warnings() const { return warnings_; }
+
+    /** True if no warnings were recorded. */
+    bool clean() const { return warnings_.empty(); }
+
+  private:
+    std::vector<std::string> warnings_;
+};
+
+} // namespace asim
+
+#endif // ASIM_SUPPORT_LOGGING_HH

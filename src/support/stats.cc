@@ -1,0 +1,22 @@
+#include "support/stats.hh"
+
+#include <sstream>
+
+namespace asim {
+
+std::string
+SimStats::summary() const
+{
+    std::ostringstream os;
+    os << "cycles: " << cycles << "\n";
+    os << "alu evaluations: " << aluEvals << "\n";
+    os << "selector evaluations: " << selEvals << "\n";
+    for (const auto &m : mems) {
+        os << "memory " << m.name << ": reads=" << m.reads
+           << " writes=" << m.writes << " inputs=" << m.inputs
+           << " outputs=" << m.outputs << "\n";
+    }
+    return os.str();
+}
+
+} // namespace asim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulation statistics.
+ *
+ * The thesis motivates RTL simulation partly by the statistics a run
+ * can produce "such as execution cycles required, memory accesses, and
+ * other related information" (§1.4). Every engine in this library
+ * maintains a SimStats record with exactly those counters.
+ */
+
+#ifndef ASIM_SUPPORT_STATS_HH
+#define ASIM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asim {
+
+/** Per-memory access counters. */
+struct MemStats
+{
+    std::string name;
+    uint64_t reads = 0;    ///< operation 0
+    uint64_t writes = 0;   ///< operation 1
+    uint64_t inputs = 0;   ///< operation 2 (memory-mapped input)
+    uint64_t outputs = 0;  ///< operation 3 (memory-mapped output)
+
+    uint64_t total() const { return reads + writes + inputs + outputs; }
+};
+
+/** Whole-run counters maintained by every engine. */
+struct SimStats
+{
+    uint64_t cycles = 0;      ///< simulated cycles executed
+    uint64_t aluEvals = 0;    ///< ALU evaluations
+    uint64_t selEvals = 0;    ///< selector evaluations
+    std::vector<MemStats> mems;
+
+    /** Reset all counters (memory names are preserved). */
+    void
+    reset()
+    {
+        cycles = aluEvals = selEvals = 0;
+        for (auto &m : mems)
+            m.reads = m.writes = m.inputs = m.outputs = 0;
+    }
+
+    /** Render a human-readable summary table. */
+    std::string summary() const;
+};
+
+} // namespace asim
+
+#endif // ASIM_SUPPORT_STATS_HH

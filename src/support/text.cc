@@ -1,0 +1,73 @@
+#include "support/text.hh"
+
+namespace asim {
+
+bool
+isValidName(std::string_view s)
+{
+    if (s.empty() || !isLetter(s[0]))
+        return false;
+    for (char c : s.substr(1)) {
+        if (!isLetter(c) && !isDigit(c))
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &pieces, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+        if (i)
+            out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+contains(std::string_view hay, std::string_view needle)
+{
+    return hay.find(needle) != std::string_view::npos;
+}
+
+int
+countOccurrences(std::string_view hay, std::string_view needle)
+{
+    if (needle.empty())
+        return 0;
+    int n = 0;
+    size_t pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string_view::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+} // namespace asim

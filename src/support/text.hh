@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small text helpers shared by the lexer, parsers, and code generators.
+ */
+
+#ifndef ASIM_SUPPORT_TEXT_HH
+#define ASIM_SUPPORT_TEXT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asim {
+
+/** Letters per the thesis grammar (a..z, A..Z). */
+constexpr bool
+isLetter(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+/** Decimal digits. */
+constexpr bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/** Hex digits per the thesis grammar (0..9, A..F — upper case only). */
+constexpr bool
+isHexDigit(char c)
+{
+    return isDigit(c) || (c >= 'A' && c <= 'F');
+}
+
+/** Valid name: a letter followed by letters and digits. */
+bool isValidName(std::string_view s);
+
+/** Split `s` on `sep`, keeping empty pieces. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Join pieces with `sep`. */
+std::string join(const std::vector<std::string> &pieces,
+                 std::string_view sep);
+
+/** True if `s` starts with `prefix`. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if `hay` contains `needle`. */
+bool contains(std::string_view hay, std::string_view needle);
+
+/** Count occurrences of `needle` in `hay` (non-overlapping). */
+int countOccurrences(std::string_view hay, std::string_view needle);
+
+} // namespace asim
+
+#endif // ASIM_SUPPORT_TEXT_HH

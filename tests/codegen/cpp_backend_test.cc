@@ -1,0 +1,111 @@
+/** @file Structural tests for the C++ backend output. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/resolve.hh"
+#include "codegen/codegen.hh"
+#include "machines/counter.hh"
+#include "machines/stack_machine.hh"
+#include "support/text.hh"
+
+namespace asim {
+namespace {
+
+TEST(CppBackend, CounterShape)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    std::string code = generateCpp(rs);
+    EXPECT_TRUE(contains(code, "static int32_t ljbnext = 0;"));
+    EXPECT_TRUE(contains(code, "static int32_t ljbcount[1];"));
+    EXPECT_TRUE(contains(code, "land(int32_t a, int32_t b)"));
+    EXPECT_TRUE(contains(code, "long long cycles = 20;"));
+    EXPECT_TRUE(
+        contains(code, "ljbnext = land(tempcount, 15) + 1;"));
+    EXPECT_TRUE(contains(code, "SIM_NS"));
+}
+
+TEST(CppBackend, TraceLineMatchesEngineFormat)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    std::string code = generateCpp(rs);
+    EXPECT_TRUE(
+        contains(code, "std::printf(\"Cycle %3lld\", cyclecount);"));
+    EXPECT_TRUE(contains(
+        code, "std::printf(\" count= %d\", (int)tempcount);"));
+}
+
+TEST(CppBackend, NoTraceOption)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    CodegenOptions opts;
+    opts.emitTrace = false;
+    std::string code = generateCpp(rs, opts);
+    EXPECT_FALSE(contains(code, "Cycle %3lld"));
+}
+
+TEST(CppBackend, SelectorSwitchWithBoundsDefault)
+{
+    ResolvedSpec rs = resolveText("# sel\n"
+                                  "s m .\n"
+                                  "S s m 1 2\n"
+                                  "M m 0 0 0 4\n"
+                                  ".\n");
+    std::string code = generateCpp(rs);
+    EXPECT_TRUE(contains(code, "switch (tempm) {"));
+    EXPECT_TRUE(contains(code, "case 0: ljbs = 1; break;"));
+    EXPECT_TRUE(contains(code, "selfail(\"s\""));
+}
+
+TEST(CppBackend, MemoryBoundsChecks)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    std::string code = generateCpp(rs);
+    EXPECT_TRUE(contains(code, "adrfail(\"count\""));
+}
+
+TEST(CppBackend, DynamicMemoryOperation)
+{
+    ResolvedSpec rs = resolveText("# dyn\n"
+                                  "m op .\n"
+                                  "A op 2 0 0\n"
+                                  "M m 0 op op.0.3 4\n"
+                                  ".\n");
+    std::string code = generateCpp(rs);
+    EXPECT_TRUE(contains(code, "switch (land(opnm, 3)) {"));
+    EXPECT_TRUE(contains(code, "sinput(adrm)"));
+    EXPECT_TRUE(contains(code, "soutput(adrm, tempm);"));
+    EXPECT_TRUE(contains(code, "if (land(opnm, 5) == 5)"));
+    EXPECT_TRUE(contains(code, "if (land(opnm, 9) == 8)"));
+}
+
+TEST(CppBackend, FixedShiftSemanticsOption)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    CodegenOptions thesis;
+    CodegenOptions fixed;
+    fixed.aluSemantics = AluSemantics::Fixed;
+    std::string a = generateCpp(rs, thesis);
+    std::string b = generateCpp(rs, fixed);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(contains(b, "value = land(left, mask);"));
+}
+
+TEST(CppBackend, StackMachineGeneratesLargeSwitchTables)
+{
+    ResolvedSpec rs =
+        resolveText(stackMachineSpec(sieveProgram(5), 1000));
+    std::string code = generateCpp(rs);
+    // The 144-state microcode ROM becomes one big switch.
+    EXPECT_GE(countOccurrences(code, "case "), 144);
+    EXPECT_TRUE(contains(code, "static int32_t ljbram[256];"));
+}
+
+TEST(CppBackend, GeneratedCodeIsDeterministic)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    EXPECT_EQ(generateCpp(rs), generateCpp(rs));
+    EXPECT_EQ(generatePascal(rs), generatePascal(rs));
+}
+
+} // namespace
+} // namespace asim

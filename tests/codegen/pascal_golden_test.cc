@@ -1,0 +1,225 @@
+/** @file
+ * Golden tests for the Pascal backend against the thesis figures:
+ * Figure 4.1 (ALU codegen, generic and constant-function optimized),
+ * Figure 4.2 (selector codegen), Figure 4.3 (memory codegen), and the
+ * Appendix E program shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/resolve.hh"
+#include "codegen/codegen.hh"
+#include "support/text.hh"
+
+namespace asim {
+namespace {
+
+/** Figure 4.1 harness: the two ALUs from the figure. */
+std::string
+fig41()
+{
+    ResolvedSpec rs = resolveText("# fig 4.1\n"
+                                  "alu add compute left .\n"
+                                  "A alu compute left 3048\n"
+                                  "A add 4 left 3048\n"
+                                  "M compute 0 0 0 16\n"
+                                  "M left 0 0 0 16\n"
+                                  ".\n");
+    return generatePascal(rs);
+}
+
+TEST(PascalGolden, Fig41GenericAluCallsDologic)
+{
+    // "alu := dologic(compute, left, 3048);"
+    EXPECT_TRUE(contains(
+        fig41(), "ljbalu := dologic(tempcompute, templeft, 3048);"));
+}
+
+TEST(PascalGolden, Fig41ConstantFunctionInlined)
+{
+    // "add := left + 3048;"
+    EXPECT_TRUE(contains(fig41(), "ljbadd := templeft + 3048;"));
+    EXPECT_FALSE(contains(fig41(), "ljbadd := dologic"));
+}
+
+TEST(PascalGolden, Fig41NoOptimizeFallsBackToDologic)
+{
+    ResolvedSpec rs = resolveText("# fig 4.1 unopt\n"
+                                  "add left .\n"
+                                  "A add 4 left 3048\n"
+                                  "M left 0 0 0 16\n"
+                                  ".\n");
+    CodegenOptions opts;
+    opts.inlineConstAlu = false;
+    EXPECT_TRUE(contains(generatePascal(rs, opts),
+                         "ljbadd := dologic(4, templeft, 3048);"));
+}
+
+TEST(PascalGolden, Fig42SelectorCase)
+{
+    // Figure 4.2: a case statement over the selector index.
+    ResolvedSpec rs =
+        resolveText("# fig 4.2\n"
+                    "selector index value0 value1 value2 value3 .\n"
+                    "S selector index.0.1 value0 value1 value2 value3\n"
+                    "M index 0 0 0 4\n"
+                    "M value0 0 0 0 4\n"
+                    "M value1 0 0 0 4\n"
+                    "M value2 0 0 0 4\n"
+                    "M value3 0 0 0 4\n"
+                    ".\n");
+    std::string code = generatePascal(rs);
+    EXPECT_TRUE(contains(code, "case land(tempindex, 3) of"));
+    EXPECT_TRUE(contains(code, "0 : ljbselector := tempvalue0;"));
+    EXPECT_TRUE(contains(code, "3 : ljbselector := tempvalue3"));
+}
+
+/** Figure 4.3 harness: the initialized memory from the figure. */
+std::string
+fig43()
+{
+    ResolvedSpec rs =
+        resolveText("# fig 4.3\n"
+                    "memory address data operation .\n"
+                    "A address 2 0 0\n"
+                    "A data 2 0 0\n"
+                    "A operation 2 0 0\n"
+                    "M memory address data operation.0.3 -4 12 34 56 78\n"
+                    ".\n");
+    return generatePascal(rs);
+}
+
+TEST(PascalGolden, Fig43InitializationProcedure)
+{
+    std::string code = fig43();
+    EXPECT_TRUE(contains(code, "ljbmemory[0] := 12;"));
+    EXPECT_TRUE(contains(code, "ljbmemory[1] := 34;"));
+    EXPECT_TRUE(contains(code, "ljbmemory[2] := 56;"));
+    EXPECT_TRUE(contains(code, "ljbmemory[3] := 78;"));
+}
+
+TEST(PascalGolden, Fig43OperationCase)
+{
+    std::string code = fig43();
+    EXPECT_TRUE(contains(code, "case land(opnmemory, 3) of"));
+    EXPECT_TRUE(
+        contains(code, "tempmemory := ljbmemory[adrmemory];"));
+    EXPECT_TRUE(contains(code, "tempmemory := sinput(adrmemory);"));
+    EXPECT_TRUE(contains(code, "soutput(adrmemory, tempmemory);"));
+}
+
+TEST(PascalGolden, Fig43TraceStatements)
+{
+    std::string code = fig43();
+    // operation.0.3 is 4 bits wide: both trace checks are emitted.
+    EXPECT_TRUE(contains(code, "if land(opnmemory, 5) = 5 then"));
+    EXPECT_TRUE(contains(code, "if land(opnmemory, 9) = 8 then"));
+    EXPECT_TRUE(contains(code, "writeln('Write to memory at ', "
+                               "adrmemory:1, ': ', tempmemory:1);"));
+    EXPECT_TRUE(contains(code, "writeln('Read from memory at ', "
+                               "adrmemory:1, ': ', tempmemory:1);"));
+}
+
+TEST(PascalGolden, NarrowOperationElidesTraceCode)
+{
+    // A 2-bit operation cannot carry the trace bits: no trace code.
+    ResolvedSpec rs = resolveText("# narrow\n"
+                                  "m op .\n"
+                                  "A op 2 0 0\n"
+                                  "M m 0 op op.0.1 4\n"
+                                  ".\n");
+    std::string code = generatePascal(rs);
+    EXPECT_FALSE(contains(code, "Write to m"));
+    EXPECT_FALSE(contains(code, "Read from m"));
+}
+
+TEST(PascalGolden, AppendixEProgramShape)
+{
+    ResolvedSpec rs = resolveText("# Itty Bitty Stack Machine\n"
+                                  "= 5545\n"
+                                  "count* next .\n"
+                                  "A next 4 count.0.3 1\n"
+                                  "M count 0 next 1 1\n"
+                                  ".\n");
+    std::string code = generatePascal(rs);
+    // Appendix E structural landmarks, in order of appearance.
+    const char *landmarks[] = {
+        "program simulator (input, output);",
+        "{# Itty Bitty Stack Machine}",
+        "function land (a, b: integer): integer;",
+        "procedure initvalues;",
+        "function dologic (funct, left, right: integer): integer;",
+        "const mask = 2147483647;",
+        "function sinput (address: integer): integer;",
+        "procedure soutput (address, data: integer);",
+        "cycles := 5545;",
+        "while cyclecount <= cycles do begin",
+        "write('Cycle ', cyclecount:3);",
+        "cyclecount := cyclecount + 1;",
+        "Continue to cycle (0 to quit)",
+        "end.",
+    };
+    size_t at = 0;
+    for (const char *m : landmarks) {
+        size_t next = code.find(m, at);
+        ASSERT_NE(next, std::string::npos) << "missing: " << m;
+        at = next;
+    }
+}
+
+TEST(PascalGolden, DataLatchQuirkToggle)
+{
+    ResolvedSpec rs = resolveText("# quirk\n"
+                                  "next count .\n"
+                                  "A next 4 count 1\n"
+                                  "M count 0 next 1 1\n"
+                                  ".\n");
+    // Appendix E latches a never-read data<name> variable.
+    EXPECT_TRUE(
+        contains(generatePascal(rs), "datacount := tempcount;"));
+    CodegenOptions opts;
+    opts.emitDataLatchQuirk = false;
+    EXPECT_FALSE(contains(generatePascal(rs, opts), "datacount"));
+}
+
+TEST(PascalGolden, ConstantMemorySpecialized)
+{
+    ResolvedSpec rs = resolveText("# const op\n"
+                                  "next count .\n"
+                                  "A next 4 count 1\n"
+                                  "M count 0 next 1 1\n"
+                                  ".\n");
+    std::string code = generatePascal(rs);
+    // Operation 1 is constant: direct write, no case dispatch.
+    EXPECT_TRUE(contains(code, "tempcount := ljbnext;"));
+    EXPECT_TRUE(contains(code, "ljbcount[adrcount] := tempcount;"));
+    EXPECT_FALSE(contains(code, "case land(opncount, 3) of"));
+}
+
+TEST(PascalGolden, ExpressionRendering)
+{
+    // The `land(x, mask) div/mul 2^k` shapes from Appendix E.
+    ResolvedSpec rs = resolveText("# exprs\n"
+                                  "a rom .\n"
+                                  "A a 4 rom.8 %110,rom.2.3\n"
+                                  "M rom 0 0 0 16\n"
+                                  ".\n");
+    std::string code = generatePascal(rs);
+    EXPECT_TRUE(contains(code, "land(temprom, 256) div 256"));
+    EXPECT_TRUE(contains(code, "land(temprom, 12) div 4 + 24"));
+}
+
+TEST(PascalGolden, TraceLineUsesLatchForMemories)
+{
+    ResolvedSpec rs = resolveText("# traceline\n"
+                                  "count* next* .\n"
+                                  "A next 4 count 1\n"
+                                  "M count 0 next 1 1\n"
+                                  ".\n");
+    std::string code = generatePascal(rs);
+    EXPECT_TRUE(contains(code, "write(' count= ', tempcount:1);"));
+    EXPECT_TRUE(contains(code, "write(' next= ', ljbnext:1);"));
+}
+
+} // namespace
+} // namespace asim

@@ -1,0 +1,151 @@
+/** @file
+ * End-to-end tests of the command-line tools (asim-run, asim2c),
+ * driven through the shell exactly as a user would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef ASIM_RUN_BIN
+#define ASIM_RUN_BIN "asim-run"
+#endif
+#ifndef ASIM2C_BIN
+#define ASIM2C_BIN "asim2c"
+#endif
+#ifndef ASIM_SPECS_DIR
+#define ASIM_SPECS_DIR "specs"
+#endif
+
+namespace {
+
+struct CmdResult
+{
+    int status = -1;
+    std::string out;
+};
+
+CmdResult
+run(const std::string &cmd)
+{
+    CmdResult r;
+    std::string full = cmd + " 2>&1";
+    FILE *p = popen(full.c_str(), "r");
+    if (!p)
+        return r;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), p)) > 0)
+        r.out.append(buf, n);
+    r.status = pclose(p);
+    return r;
+}
+
+std::string
+counterSpec()
+{
+    return std::string(ASIM_SPECS_DIR) + "/counter.asim";
+}
+
+TEST(Cli, AsimRunTracesCounter)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) + " --cycles=5 " +
+                      counterSpec());
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("Cycle   0 count= 0"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("Cycle   4 count= 4"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("components read"), std::string::npos);
+}
+
+TEST(Cli, AsimRunEnginesAgree)
+{
+    auto strip = [](std::string s) {
+        // Drop the stderr banner lines (component count).
+        std::string out;
+        std::istringstream is(s);
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.rfind("Cycle", 0) == 0)
+                out += line + "\n";
+        }
+        return out;
+    };
+    CmdResult vm = run(std::string(ASIM_RUN_BIN) +
+                       " --engine=vm --cycles=8 " + counterSpec());
+    CmdResult in = run(std::string(ASIM_RUN_BIN) +
+                       " --engine=interp --cycles=8 " + counterSpec());
+    EXPECT_EQ(strip(vm.out), strip(in.out));
+    EXPECT_FALSE(strip(vm.out).empty());
+}
+
+TEST(Cli, AsimRunStats)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --no-trace --stats --cycles=10 " +
+                      counterSpec());
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.out.find("cycles: 10"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("memory count: reads=0 writes=10"),
+              std::string::npos);
+}
+
+TEST(Cli, AsimRunRejectsBadSpec)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) + " /dev/null");
+    EXPECT_NE(r.status, 0);
+    EXPECT_NE(r.out.find("Error"), std::string::npos);
+}
+
+TEST(Cli, Asim2cGeneratesPascal)
+{
+    std::string out = "/tmp/asim2c_test_simulator.p";
+    CmdResult r = run(std::string(ASIM2C_BIN) + " --lang=pascal -o " +
+                      out + " " + counterSpec());
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("Sorting components."), std::string::npos);
+    EXPECT_NE(r.out.find("Generating code."), std::string::npos);
+    std::ifstream f(out);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_NE(ss.str().find("program simulator (input, output);"),
+              std::string::npos);
+    std::remove(out.c_str());
+}
+
+TEST(Cli, Asim2cGeneratedCppCompilesAndRuns)
+{
+    if (std::system("g++ --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "no host compiler";
+    std::string cc = "/tmp/asim2c_test_simulator.cc";
+    std::string bin = "/tmp/asim2c_test_simulator";
+    CmdResult gen = run(std::string(ASIM2C_BIN) + " --lang=cpp -o " +
+                        cc + " " + counterSpec());
+    ASSERT_EQ(gen.status, 0) << gen.out;
+    CmdResult compile =
+        run("g++ -O2 -fwrapv -o " + bin + " " + cc);
+    ASSERT_EQ(compile.status, 0) << compile.out;
+    CmdResult sim = run(bin + std::string(" 3"));
+    EXPECT_EQ(sim.status, 0);
+    EXPECT_NE(sim.out.find("Cycle   0 count= 0"),
+              std::string::npos)
+        << sim.out;
+    EXPECT_NE(sim.out.find("Cycle   3 count= 3"),
+              std::string::npos);
+    std::remove(cc.c_str());
+    std::remove(bin.c_str());
+}
+
+TEST(Cli, Asim2cRejectsUnknownLanguage)
+{
+    CmdResult r = run(std::string(ASIM2C_BIN) + " --lang=cobol " +
+                      counterSpec());
+    EXPECT_NE(r.status, 0);
+}
+
+} // namespace

@@ -1,0 +1,63 @@
+/** @file Unit tests for the macro table. */
+
+#include <gtest/gtest.h>
+
+#include "lang/macro.hh"
+#include "support/logging.hh"
+
+namespace asim {
+namespace {
+
+TEST(Macro, DefineAndLookup)
+{
+    MacroTable t;
+    t.define("w", "8");
+    EXPECT_TRUE(t.defined("w"));
+    EXPECT_EQ(t.lookup("w"), "8");
+    EXPECT_FALSE(t.defined("x"));
+}
+
+TEST(Macro, ExpandInsideToken)
+{
+    MacroTable t;
+    t.define("w", "8");
+    t.define("pack", "#0000");
+    EXPECT_EQ(t.expand("rom.~w"), "rom.8");
+    EXPECT_EQ(t.expand("rom.~w,~pack"), "rom.8,#0000");
+    EXPECT_EQ(t.expand("plain"), "plain");
+}
+
+TEST(Macro, NameDelimitedByNonAlnum)
+{
+    MacroTable t;
+    t.define("d", "5");
+    t.define("dd", "7");
+    // `~d..~dd` — the '.' ends the first name.
+    EXPECT_EQ(t.expand("~d.~dd"), "5.7");
+    EXPECT_EQ(t.expand("x~d,~dd"), "x5,7");
+}
+
+TEST(Macro, UndefinedThrows)
+{
+    MacroTable t;
+    EXPECT_THROW(t.expand("~nope"), SpecError);
+    EXPECT_THROW(t.lookup("nope"), SpecError);
+}
+
+TEST(Macro, InvalidNameThrows)
+{
+    MacroTable t;
+    EXPECT_THROW(t.define("9abc", "x"), SpecError);
+    EXPECT_THROW(t.define("", "x"), SpecError);
+    EXPECT_THROW(t.define("a-b", "x"), SpecError);
+}
+
+TEST(Macro, RedefinitionThrows)
+{
+    MacroTable t;
+    t.define("a", "1");
+    EXPECT_THROW(t.define("a", "2"), SpecError);
+}
+
+} // namespace
+} // namespace asim

@@ -1,0 +1,121 @@
+/** @file Unit tests for the ASIM II number grammar (thesis str2num). */
+
+#include <gtest/gtest.h>
+
+#include "lang/number.hh"
+#include "support/logging.hh"
+
+namespace asim {
+namespace {
+
+TEST(Number, Decimal)
+{
+    EXPECT_EQ(parseNumber("0"), 0);
+    EXPECT_EQ(parseNumber("7"), 7);
+    EXPECT_EQ(parseNumber("128"), 128);
+    EXPECT_EQ(parseNumber("2147483647"), 2147483647);
+}
+
+TEST(Number, Hex)
+{
+    EXPECT_EQ(parseNumber("$0"), 0);
+    EXPECT_EQ(parseNumber("$A"), 10);
+    EXPECT_EQ(parseNumber("$7F"), 127);
+    EXPECT_EQ(parseNumber("$FF"), 255);
+    EXPECT_EQ(parseNumber("$5D"), 93); // thesis: ldc 93=$5d
+}
+
+TEST(Number, Binary)
+{
+    EXPECT_EQ(parseNumber("%0"), 0);
+    EXPECT_EQ(parseNumber("%1"), 1);
+    EXPECT_EQ(parseNumber("%1101"), 13);
+    EXPECT_EQ(parseNumber("%0100"), 4);
+    EXPECT_EQ(parseNumber("%0001"), 1);
+}
+
+TEST(Number, PowerOfTwo)
+{
+    EXPECT_EQ(parseNumber("^0"), 1);
+    EXPECT_EQ(parseNumber("^3"), 8);
+    EXPECT_EQ(parseNumber("^12"), 4096);
+    EXPECT_EQ(parseNumber("^30"), 1 << 30);
+}
+
+TEST(Number, Sums)
+{
+    // The thesis decode ROM uses sums like 128+3+^8 (= 387).
+    EXPECT_EQ(parseNumber("128+3+^8"), 387);
+    EXPECT_EQ(parseNumber("0+^5+^7+^8"), 32 + 128 + 256);
+    EXPECT_EQ(parseNumber("16+^5+^7+^8"), 16 + 32 + 128 + 256);
+    EXPECT_EQ(parseNumber("%10+$10+2"), 2 + 16 + 2);
+}
+
+TEST(Number, SignedSizes)
+{
+    EXPECT_EQ(parseSignedNumber("-133"), -133);
+    EXPECT_EQ(parseSignedNumber("-4"), -4);
+    EXPECT_EQ(parseSignedNumber("4096"), 4096);
+}
+
+TEST(Number, MalformedThrows)
+{
+    EXPECT_THROW(parseNumber(""), SpecError);
+    EXPECT_THROW(parseNumber("abc"), SpecError);
+    EXPECT_THROW(parseNumber("12a"), SpecError);
+    EXPECT_THROW(parseNumber("$"), SpecError);
+    EXPECT_THROW(parseNumber("$G"), SpecError);
+    EXPECT_THROW(parseNumber("%"), SpecError);
+    EXPECT_THROW(parseNumber("%12"), SpecError);
+    EXPECT_THROW(parseNumber("^"), SpecError);
+    EXPECT_THROW(parseNumber("^x"), SpecError);
+    EXPECT_THROW(parseNumber("1+"), SpecError);
+    EXPECT_THROW(parseNumber("+1"), SpecError);
+    EXPECT_THROW(parseNumber("1++2"), SpecError);
+    // Lower-case hex digits are not in the thesis grammar.
+    EXPECT_THROW(parseNumber("$ff"), SpecError);
+}
+
+TEST(Number, IsNumberPredicate)
+{
+    EXPECT_TRUE(isNumber("42"));
+    EXPECT_TRUE(isNumber("%101+^2"));
+    EXPECT_FALSE(isNumber("count"));
+    EXPECT_FALSE(isNumber(""));
+}
+
+TEST(Number, NumericTextPredicate)
+{
+    // Mirrors the thesis numeric() used to gate optimization.
+    EXPECT_TRUE(isNumericText("4"));
+    EXPECT_TRUE(isNumericText("$7F"));
+    EXPECT_TRUE(isNumericText("%110"));
+    EXPECT_FALSE(isNumericText("left"));
+    EXPECT_FALSE(isNumericText(""));
+    EXPECT_FALSE(isNumericText("4,rom"));
+}
+
+struct WrapCase
+{
+    const char *text;
+    int32_t expect;
+};
+
+class NumberWrap : public ::testing::TestWithParam<WrapCase>
+{};
+
+TEST_P(NumberWrap, WrapsLikeInt32)
+{
+    EXPECT_EQ(parseNumber(GetParam().text), GetParam().expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Overflow, NumberWrap,
+    ::testing::Values(
+        WrapCase{"^31", INT32_MIN},                   // 2^31 wraps
+        WrapCase{"^31+^31", 0},                       // wraps to zero
+        WrapCase{"2147483647+1", INT32_MIN},
+        WrapCase{"^30+^30", INT32_MIN}));
+
+} // namespace
+} // namespace asim

@@ -1,0 +1,300 @@
+/** @file Tests for the Itty Bitty Stack Machine. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/resolve.hh"
+#include "machines/stack_machine.hh"
+#include "sim/engine.hh"
+#include "support/logging.hh"
+
+namespace asim {
+namespace {
+
+/** Run a program on the VM until HALT or `maxCycles`; returns the
+ *  engine for inspection. */
+std::unique_ptr<Engine>
+runProgram(const std::vector<int32_t> &program, VectorIo *io,
+           uint64_t maxCycles = 100000)
+{
+    ResolvedSpec rs = resolveText(stackMachineSpec(program, 1000));
+    EngineConfig cfg;
+    cfg.io = io;
+    auto e = makeVm(rs, cfg);
+    for (uint64_t c = 0; c < maxCycles; c += 64) {
+        e->run(64);
+        if (e->value("state") == kStackHaltState)
+            return e;
+    }
+    ADD_FAILURE() << "program did not halt in " << maxCycles
+                  << " cycles";
+    return e;
+}
+
+/** Assemble, run, and return I/O-address-1 outputs. */
+std::vector<int32_t>
+outputsOf(StackAssembler &as)
+{
+    VectorIo io;
+    runProgram(as.assemble(), &io);
+    return io.outputsAt(1);
+}
+
+TEST(StackAssembler, LabelsResolve)
+{
+    StackAssembler as;
+    auto l = as.newLabel();
+    as.br(l);
+    as.nop();
+    as.bind(l);
+    as.halt();
+    auto prog = as.assemble();
+    ASSERT_EQ(prog.size(), 4u);
+    EXPECT_EQ(prog[0], kOpBr);
+    EXPECT_EQ(prog[1], 3); // the halt's address
+}
+
+TEST(StackAssembler, UnboundLabelThrows)
+{
+    StackAssembler as;
+    as.br(as.newLabel());
+    EXPECT_THROW(as.assemble(), SpecError);
+}
+
+TEST(StackMachine, PushOut)
+{
+    StackAssembler as;
+    as.pushi(42);
+    as.out();
+    as.halt();
+    EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{42}));
+}
+
+TEST(StackMachine, ArithmeticOps)
+{
+    struct Case
+    {
+        StackOp op;
+        int32_t a, b, expect;
+    };
+    const Case cases[] = {
+        {kOpAdd, 20, 22, 42},   {kOpSub, 50, 8, 42},
+        {kOpMul, 6, 7, 42},     {kOpAnd, 0b1100, 0b1010, 0b1000},
+        {kOpOr, 0b1100, 0b1010, 0b1110},
+        {kOpXor, 0b1100, 0b1010, 0b0110},
+        {kOpEq, 5, 5, 1},       {kOpEq, 5, 6, 0},
+        {kOpLt, 5, 6, 1},       {kOpLt, 6, 5, 0},
+    };
+    for (const Case &c : cases) {
+        StackAssembler as;
+        as.pushi(c.a);
+        as.pushi(c.b);
+        switch (c.op) {
+          case kOpAdd: as.add(); break;
+          case kOpSub: as.sub(); break;
+          case kOpMul: as.mul(); break;
+          case kOpAnd: as.bitAnd(); break;
+          case kOpOr: as.bitOr(); break;
+          case kOpXor: as.bitXor(); break;
+          case kOpEq: as.eq(); break;
+          case kOpLt: as.lt(); break;
+          default: FAIL();
+        }
+        as.out();
+        as.halt();
+        EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{c.expect}))
+            << "op " << c.op << " a=" << c.a << " b=" << c.b;
+    }
+}
+
+TEST(StackMachine, UnaryOps)
+{
+    {
+        StackAssembler as;
+        as.pushi(5);
+        as.neg();
+        as.out();
+        as.halt();
+        EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{-5}));
+    }
+    {
+        StackAssembler as;
+        as.pushi(0);
+        as.bitNot();
+        as.out();
+        as.halt();
+        EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{0x7fffffff}));
+    }
+}
+
+TEST(StackMachine, StackManipulation)
+{
+    // DUP: 7 dup add -> 14. SWAP: 1 2 swap sub -> 2-1 = 1.
+    // DROP: 9 8 drop -> 9.
+    {
+        StackAssembler as;
+        as.pushi(7);
+        as.dup();
+        as.add();
+        as.out();
+        as.halt();
+        EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{14}));
+    }
+    {
+        StackAssembler as;
+        as.pushi(1);
+        as.pushi(2);
+        as.swap();
+        as.sub();
+        as.out();
+        as.halt();
+        EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{1}));
+    }
+    {
+        StackAssembler as;
+        as.pushi(9);
+        as.pushi(8);
+        as.drop();
+        as.out();
+        as.halt();
+        EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{9}));
+    }
+}
+
+TEST(StackMachine, LoadStore)
+{
+    // Store 99 at address 5, load it back, print.
+    StackAssembler as;
+    as.pushi(99);
+    as.pushi(5);
+    as.store();
+    as.pushi(5);
+    as.load();
+    as.out();
+    as.halt();
+    EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{99}));
+}
+
+TEST(StackMachine, BranchesAndLoops)
+{
+    // Count 5 down to 0, printing each value.
+    StackAssembler as;
+    const int cell = 4;
+    as.pushi(5);
+    as.pushi(cell);
+    as.store();
+    auto loop = as.newLabel();
+    auto done = as.newLabel();
+    as.bind(loop);
+    as.pushi(cell);
+    as.load();
+    as.dup();
+    as.out();
+    as.bz(done); // stops after printing 0
+    as.pushi(cell);
+    as.load();
+    as.pushi(1);
+    as.sub();
+    as.pushi(cell);
+    as.store();
+    as.br(loop);
+    as.bind(done);
+    as.halt();
+    EXPECT_EQ(outputsOf(as),
+              (std::vector<int32_t>{5, 4, 3, 2, 1, 0}));
+}
+
+TEST(StackMachine, InputInstruction)
+{
+    StackAssembler as;
+    as.in();
+    as.in();
+    as.add();
+    as.out();
+    as.halt();
+    VectorIo io;
+    io.pushInput(30);
+    io.pushInput(12);
+    runProgram(as.assemble(), &io);
+    EXPECT_EQ(io.outputsAt(1), (std::vector<int32_t>{42}));
+}
+
+TEST(StackMachine, NopAndHalt)
+{
+    StackAssembler as;
+    as.nop();
+    as.nop();
+    as.pushi(1);
+    as.out();
+    as.halt();
+    EXPECT_EQ(outputsOf(as), (std::vector<int32_t>{1}));
+}
+
+TEST(StackMachine, HaltStateIsStable)
+{
+    StackAssembler as;
+    as.halt();
+    VectorIo io;
+    auto e = runProgram(as.assemble(), &io);
+    int32_t state = e->value("state");
+    e->run(100);
+    EXPECT_EQ(e->value("state"), state);
+    EXPECT_EQ(state, kStackHaltState);
+}
+
+TEST(StackMachine, InvalidOpcodeHalts)
+{
+    // Undefined opcodes dispatch to a halt slot, not UB.
+    std::vector<int32_t> prog{25, 0, 0};
+    VectorIo io;
+    auto e = runProgram(prog, &io);
+    EXPECT_EQ(e->value("state"), kStackHaltState);
+}
+
+TEST(StackMachine, SieveReferenceValues)
+{
+    // size 20 sieves 3..43.
+    auto ref = sieveReference(20);
+    ASSERT_GE(ref.size(), 2u);
+    EXPECT_EQ(ref.front(), 3);
+    EXPECT_EQ(ref[ref.size() - 2], 43);
+    EXPECT_EQ(ref.back(), 13); // 13 primes in 3..43
+}
+
+TEST(StackMachine, SievePrintsAllPrimes)
+{
+    VectorIo io;
+    auto e = runProgram(sieveProgram(20), &io);
+    EXPECT_EQ(io.outputsAt(1), sieveReference(20));
+    // Report the completion cycle so the Figure 5.1 budget can be
+    // sanity-checked against the thesis' 5545 cycles.
+    std::cout << "[ sieve(20) halted at cycle " << e->cycle() << " ]\n";
+}
+
+TEST(StackMachine, SieveSizesSweep)
+{
+    for (int size : {1, 2, 5, 10, 30}) {
+        VectorIo io;
+        runProgram(sieveProgram(size), &io, 400000);
+        EXPECT_EQ(io.outputsAt(1), sieveReference(size))
+            << "size " << size;
+    }
+}
+
+TEST(StackMachine, InterpreterAgreesOnSieve)
+{
+    ResolvedSpec rs = resolveText(stackMachineSpec(sieveProgram(10),
+                                                   20000));
+    VectorIo a, b;
+    EngineConfig ca, cb;
+    ca.io = &a;
+    cb.io = &b;
+    auto interp = makeInterpreter(rs, ca);
+    auto vm = makeVm(rs, cb);
+    interp->run(20000);
+    vm->run(20000);
+    EXPECT_EQ(a.outputs(), b.outputs());
+    EXPECT_EQ(a.outputsAt(1), sieveReference(10));
+}
+
+} // namespace
+} // namespace asim

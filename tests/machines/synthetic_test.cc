@@ -1,0 +1,67 @@
+/** @file Tests for the synthetic specification generator. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/resolve.hh"
+#include "lang/parser.hh"
+#include "machines/synthetic.hh"
+#include "sim/engine.hh"
+
+namespace asim {
+namespace {
+
+TEST(Synthetic, Deterministic)
+{
+    SyntheticOptions a, b;
+    a.seed = b.seed = 42;
+    EXPECT_EQ(generateSyntheticText(a), generateSyntheticText(b));
+    b.seed = 43;
+    EXPECT_NE(generateSyntheticText(a), generateSyntheticText(b));
+}
+
+TEST(Synthetic, RequestedComponentCounts)
+{
+    SyntheticOptions opts;
+    opts.alus = 10;
+    opts.selectors = 5;
+    opts.memories = 4;
+    Spec s = generateSynthetic(opts);
+    int alus = 0, sels = 0, mems = 0;
+    for (const auto &c : s.comps) {
+        alus += c.kind == CompKind::Alu;
+        sels += c.kind == CompKind::Selector;
+        mems += c.kind == CompKind::Memory;
+    }
+    EXPECT_EQ(alus, 10);
+    EXPECT_EQ(sels, 5);
+    EXPECT_EQ(mems, 4);
+}
+
+/** Every generated spec must parse, resolve, and run 500 cycles on
+ *  both engines without runtime faults. */
+class SyntheticSafety : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(SyntheticSafety, ResolvesAndRuns)
+{
+    SyntheticOptions opts;
+    opts.seed = GetParam();
+    opts.alus = 12;
+    opts.selectors = 6;
+    opts.memories = 4;
+    ResolvedSpec rs;
+    ASSERT_NO_THROW(rs = resolve(parseSpec(generateSyntheticText(opts))));
+    VectorIo io;
+    for (int i = 0; i < 1024; ++i)
+        io.pushInput(i);
+    EngineConfig cfg;
+    cfg.io = &io;
+    auto e = makeVm(rs, cfg);
+    EXPECT_NO_THROW(e->run(500));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSafety,
+                         ::testing::Range(100u, 140u));
+
+} // namespace
+} // namespace asim

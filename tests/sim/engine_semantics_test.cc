@@ -1,0 +1,387 @@
+/** @file
+ * Cycle-semantics contract tests, run against BOTH engines via a
+ * factory parameter. These pin the behaviors DESIGN.md §3 commits to:
+ * dependency-ordered combinational evaluation, one-cycle memory
+ * latency, declaration-order memory updates with live latches,
+ * trace ordering, memory-mapped I/O, and runtime fault reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/resolve.hh"
+#include "sim/engine.hh"
+
+namespace asim {
+namespace {
+
+enum class Kind
+{
+    Interp,
+    Vm,
+};
+
+class Engines : public ::testing::TestWithParam<Kind>
+{
+  protected:
+    std::unique_ptr<Engine>
+    make(const std::string &text, const EngineConfig &cfg = {})
+    {
+        rs_ = resolveText(text);
+        return GetParam() == Kind::Interp ? makeInterpreter(rs_, cfg)
+                                          : makeVm(rs_, cfg);
+    }
+
+    ResolvedSpec rs_;
+};
+
+TEST_P(Engines, CombinationalChainSettlesInOneCycle)
+{
+    // c = b + 1 = (a + 1) + 1 = (m + 1) + 2, all in one cycle.
+    auto e = make("# chain\n"
+                  "a b c m .\n"
+                  "A c 4 b 1\n"
+                  "A b 4 a 1\n"
+                  "A a 4 m 1\n"
+                  "M m 0 c 1 1\n"
+                  ".\n");
+    e->step();
+    EXPECT_EQ(e->value("a"), 1);
+    EXPECT_EQ(e->value("b"), 2);
+    EXPECT_EQ(e->value("c"), 3);
+}
+
+TEST_P(Engines, MemoryOneCycleDelay)
+{
+    // Register pattern: count increments once per cycle, and the
+    // incremented value is only visible the NEXT cycle.
+    auto e = make("# counter\n"
+                  "inc count .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  ".\n");
+    e->step();
+    EXPECT_EQ(e->value("inc"), 1);   // computed from count=0
+    EXPECT_EQ(e->value("count"), 1); // latch updated at end of cycle
+    e->step();
+    EXPECT_EQ(e->value("inc"), 2);
+    EXPECT_EQ(e->value("count"), 2);
+    e->run(8);
+    EXPECT_EQ(e->value("count"), 10);
+}
+
+TEST_P(Engines, ReadLatency)
+{
+    // mem reads cell `count`; the value read in cycle N is observable
+    // in cycle N+1 — exactly one cycle behind.
+    auto e = make("# readlat\n"
+                  "inc count probe .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "M probe 0 0 0 -4 10 20 30 40\n"
+                  ".\n");
+    // probe reads address 0 every cycle (addr expr 0).
+    e->step();
+    EXPECT_EQ(e->value("probe"), 10);
+}
+
+TEST_P(Engines, DeclarationOrderLatchVisibility)
+{
+    // `first` is declared before `second`; `second`'s data expression
+    // reads `first` and observes the value `first` latched THIS cycle
+    // (the STORE trick the stack machine relies on). `third`, declared
+    // before `first`, sees the previous cycle's value.
+    auto e = make("# order\n"
+                  "inc count third first second .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "M third 0 first 1 1\n"
+                  "M first 0 count 1 1\n"
+                  "M second 0 first 1 1\n"
+                  ".\n");
+    e->step(); // count: 0->1; first latches count.temp(pre)=...
+    e->step();
+    e->step();
+    // After k cycles: count.temp = k. first latches count's *fresh*
+    // temp? No: first's data expr reads count.temp, and count is
+    // declared BEFORE first, so first sees the value count latched
+    // this same cycle.
+    EXPECT_EQ(e->value("count"), 3);
+    EXPECT_EQ(e->value("first"), 3);  // fresh (count declared earlier)
+    EXPECT_EQ(e->value("second"), 3); // fresh (first declared earlier)
+    EXPECT_EQ(e->value("third"), 2);  // stale (declared before first)
+}
+
+TEST_P(Engines, SelectorSemantics)
+{
+    auto e = make("# sel\n"
+                  "inc count pick .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "S pick count.0.1 10 20 30 40\n"
+                  ".\n");
+    e->step(); // pick computed from count=0
+    EXPECT_EQ(e->value("pick"), 10);
+    e->step();
+    EXPECT_EQ(e->value("pick"), 20);
+    e->step();
+    EXPECT_EQ(e->value("pick"), 30);
+    e->step();
+    EXPECT_EQ(e->value("pick"), 40);
+    e->step();
+    EXPECT_EQ(e->value("pick"), 10); // wraps via the 2-bit subfield
+}
+
+TEST_P(Engines, SelectorIndexOutOfRangeThrows)
+{
+    auto e = make("# badsel\n"
+                  "inc count pick .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "S pick count 10 20\n"
+                  ".\n");
+    e->step(); // count=0 -> case 0 fine
+    e->step(); // count=1 -> case 1 fine
+    EXPECT_THROW(e->step(), SimError); // count=2 -> out of range
+}
+
+TEST_P(Engines, MemoryAddressOutOfRangeThrows)
+{
+    auto e = make("# badaddr\n"
+                  "inc count m .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "M m count 0 0 4\n"
+                  ".\n");
+    e->run(4); // addresses 0..3 fine
+    EXPECT_THROW(e->step(), SimError); // address 4
+}
+
+TEST_P(Engines, InitialValuesAndReset)
+{
+    auto e = make("# init\n"
+                  "m .\n"
+                  "M m 0 0 0 -4 12 34 56 78\n"
+                  ".\n");
+    EXPECT_EQ(e->memCell("m", 0), 12);
+    EXPECT_EQ(e->memCell("m", 3), 78);
+    EXPECT_EQ(e->value("m"), 0); // latch starts at zero
+    e->step();
+    EXPECT_EQ(e->value("m"), 12);
+    e->reset();
+    EXPECT_EQ(e->value("m"), 0);
+    EXPECT_EQ(e->cycle(), 0u);
+    EXPECT_EQ(e->memCell("m", 1), 34); // init values reapplied
+}
+
+TEST_P(Engines, WriteVisibleOnLatchAndInCell)
+{
+    // Figure 4.3 semantics: a write latches the written data, so the
+    // memory's output equals the new value on the next cycle.
+    // m is defined BEFORE count so its data expression observes the
+    // previous cycle's count (stale latch).
+    auto e = make("# write\n"
+                  "inc count m .\n"
+                  "A inc 4 count 1\n"
+                  "M m count.0.2 count 1 8\n"
+                  "M count 0 inc 1 1\n"
+                  ".\n");
+    e->run(3);
+    // Cycle k wrote count.temp (pre-update value k) at address k.
+    EXPECT_EQ(e->memCell("m", 0), 0);
+    EXPECT_EQ(e->memCell("m", 1), 1);
+    EXPECT_EQ(e->memCell("m", 2), 2);
+}
+
+TEST_P(Engines, MemoryMappedOutput)
+{
+    VectorIo io;
+    EngineConfig cfg;
+    cfg.io = &io;
+    // Output `count` to I/O address 1 every cycle (operation 3);
+    // port is defined before count to observe the stale latch.
+    auto e = make("# out\n"
+                  "inc count port .\n"
+                  "A inc 4 count 1\n"
+                  "M port 1 count 3 1\n"
+                  "M count 0 inc 1 1\n"
+                  ".\n",
+                  cfg);
+    e->run(3);
+    EXPECT_EQ(io.outputsAt(1), (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST_P(Engines, MemoryMappedInput)
+{
+    VectorIo io;
+    io.pushInput(7);
+    io.pushInput(9);
+    EngineConfig cfg;
+    cfg.io = &io;
+    auto e = make("# in\n"
+                  "port .\n"
+                  "M port 1 0 2 1\n"
+                  ".\n",
+                  cfg);
+    e->step();
+    EXPECT_EQ(e->value("port"), 7);
+    e->step();
+    EXPECT_EQ(e->value("port"), 9);
+    e->step();
+    EXPECT_EQ(e->value("port"), 0); // queue exhausted
+}
+
+TEST_P(Engines, TraceLineOrderAndMemoryPreUpdateValue)
+{
+    std::ostringstream os;
+    StreamTrace trace(os);
+    EngineConfig cfg;
+    cfg.trace = &trace;
+    auto e = make("# trace\n"
+                  "count* inc* .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  ".\n",
+                  cfg);
+    e->run(2);
+    // Memories print the value BEFORE this cycle's update ("the value
+    // used in the computation is printed before it is updated").
+    EXPECT_EQ(os.str(),
+              "Cycle   0 count= 0 inc= 1\n"
+              "Cycle   1 count= 1 inc= 2\n");
+}
+
+TEST_P(Engines, TraceReadsAndWrites)
+{
+    std::ostringstream os;
+    StreamTrace trace(os);
+    EngineConfig cfg;
+    cfg.trace = &trace;
+    // opn 5 = write + trace-writes (m before count: stale data).
+    auto e = make("# tw\n"
+                  "inc count m .\n"
+                  "A inc 4 count 1\n"
+                  "M m count.0.2 count 5 8\n"
+                  "M count 0 inc 1 1\n"
+                  ".\n",
+                  cfg);
+    e->run(2);
+    EXPECT_EQ(os.str(),
+              "Cycle   0\n"
+              "Write to m at 0: 0\n"
+              "Cycle   1\n"
+              "Write to m at 1: 1\n");
+}
+
+TEST_P(Engines, TraceReadsMessage)
+{
+    std::ostringstream os;
+    StreamTrace trace(os);
+    EngineConfig cfg;
+    cfg.trace = &trace;
+    // opn 8 = read + trace-reads.
+    auto e = make("# tr\n"
+                  "m .\n"
+                  "M m 0 0 8 -2 42 43\n"
+                  ".\n",
+                  cfg);
+    e->step();
+    EXPECT_EQ(os.str(), "Cycle   0\nRead from m at 0: 42\n");
+}
+
+TEST_P(Engines, DynamicTraceBits)
+{
+    std::ostringstream os;
+    StreamTrace trace(os);
+    EngineConfig cfg;
+    cfg.trace = &trace;
+    // Operation alternates 5, 4, 5, 4...: writes trace only when the
+    // write bit is also set (opn&5 == 5).
+    auto e = make("# dyntrace\n"
+                  "inc count op m .\n"
+                  "A inc 4 count 1\n"
+                  "S op count.0 5 4\n"
+                  "M m 0 count op.0.3 8\n"
+                  "M count 0 inc 1 1\n"
+                  ".\n",
+                  cfg);
+    e->run(2);
+    EXPECT_EQ(os.str(),
+              "Cycle   0\n"
+              "Write to m at 0: 0\n"
+              "Cycle   1\n");
+}
+
+TEST_P(Engines, StatsCounters)
+{
+    VectorIo io;
+    EngineConfig cfg;
+    cfg.io = &io;
+    auto e = make("# stats\n"
+                  "inc count m port .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "M m 0 count 0 4\n"
+                  "M port 1 count 3 1\n"
+                  ".\n",
+                  cfg);
+    e->run(5);
+    const SimStats &st = e->stats();
+    EXPECT_EQ(st.cycles, 5u);
+    EXPECT_EQ(st.aluEvals, 5u);
+    ASSERT_EQ(st.mems.size(), 3u);
+    EXPECT_EQ(st.mems[0].writes, 5u); // count
+    EXPECT_EQ(st.mems[1].reads, 5u);  // m
+    EXPECT_EQ(st.mems[2].outputs, 5u);
+}
+
+TEST_P(Engines, ThesisShiftQuirkObservable)
+{
+    // ALU function 6 with shift count 0 yields 0 under Thesis
+    // semantics and the operand under Fixed semantics.
+    const char *text = "# shl\n"
+                       "r .\n"
+                       "A r 6 5 0\n"
+                       ".\n";
+    auto e = make(text);
+    e->step();
+    EXPECT_EQ(e->value("r"), 0);
+
+    EngineConfig fixed;
+    fixed.aluSemantics = AluSemantics::Fixed;
+    auto e2 = make(text, fixed);
+    e2->step();
+    EXPECT_EQ(e2->value("r"), 5);
+}
+
+TEST_P(Engines, UnknownValueNameThrows)
+{
+    auto e = make("# tiny\nx .\nA x 0 0 0\n.\n");
+    EXPECT_THROW(e->value("ghost"), SimError);
+    EXPECT_THROW(e->memCell("ghost", 0), SimError);
+}
+
+TEST_P(Engines, DynamicAluFunctionOutOfRangeThrows)
+{
+    // A dynamic funct that evaluates to 14 must fault at runtime.
+    auto e = make("# dynbad\n"
+                  "inc count r .\n"
+                  "A inc 4 count 1\n"
+                  "M count 0 inc 1 1\n"
+                  "A r count.0.4 1 1\n"
+                  ".\n");
+    e->run(14);
+    EXPECT_THROW(e->step(), SimError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, Engines,
+                         ::testing::Values(Kind::Interp, Kind::Vm),
+                         [](const auto &info) {
+                             return info.param == Kind::Interp
+                                        ? "Interpreter"
+                                        : "Vm";
+                         });
+
+} // namespace
+} // namespace asim

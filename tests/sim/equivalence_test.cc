@@ -1,0 +1,186 @@
+/** @file
+ * Engine-equivalence property tests: the interpreter (ASIM analog) and
+ * the bytecode VM (ASIM II analog) must produce identical traces,
+ * identical I/O, and identical final state on randomly generated
+ * specifications — the library's strongest correctness guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/resolve.hh"
+#include "lang/writer.hh"
+#include "machines/counter.hh"
+#include "machines/stack_machine.hh"
+#include "machines/synthetic.hh"
+#include "machines/tiny_computer.hh"
+#include "sim/engine.hh"
+#include "sim/symbolic.hh"
+#include "sim/vm.hh"
+
+namespace asim {
+namespace {
+
+struct RunResult
+{
+    std::string trace;
+    std::string ioText;
+    MachineState state;
+    uint64_t aluEvals;
+    bool faulted = false;
+    std::string fault;
+};
+
+enum class Which
+{
+    Interp,
+    Vm,
+    Symbolic,
+};
+
+RunResult
+runEngine(Which which, const ResolvedSpec &rs, uint64_t cycles,
+          const std::vector<int32_t> &inputs)
+{
+    std::ostringstream os;
+    StreamTrace trace(os);
+    VectorIo io;
+    for (int32_t v : inputs)
+        io.pushInput(v);
+    EngineConfig cfg;
+    cfg.trace = &trace;
+    cfg.io = &io;
+    std::unique_ptr<Engine> e;
+    switch (which) {
+      case Which::Interp:
+        e = makeInterpreter(rs, cfg);
+        break;
+      case Which::Vm:
+        e = makeVm(rs, cfg);
+        break;
+      case Which::Symbolic:
+        e = makeSymbolicInterpreter(rs, cfg);
+        break;
+    }
+    RunResult r;
+    try {
+        e->run(cycles);
+    } catch (const SimError &err) {
+        r.faulted = true;
+        r.fault = err.what();
+    }
+    r.trace = os.str();
+    r.ioText = io.text();
+    r.state = e->state();
+    r.aluEvals = e->stats().aluEvals;
+    return r;
+}
+
+void
+expectEquivalent(const ResolvedSpec &rs, uint64_t cycles,
+                 const std::vector<int32_t> &inputs = {})
+{
+    RunResult a = runEngine(Which::Interp, rs, cycles, inputs);
+    for (Which which : {Which::Vm, Which::Symbolic}) {
+        RunResult b = runEngine(which, rs, cycles, inputs);
+        EXPECT_EQ(a.faulted, b.faulted);
+        if (a.faulted) {
+            // Same diagnostic, modulo nothing: both name the
+            // component.
+            EXPECT_EQ(a.fault, b.fault);
+        }
+        EXPECT_EQ(a.trace, b.trace);
+        EXPECT_EQ(a.ioText, b.ioText);
+        EXPECT_TRUE(a.state == b.state) << "final state differs";
+    }
+}
+
+TEST(Equivalence, Counter)
+{
+    expectEquivalent(resolveText(counterSpec(6, 100)), 100);
+}
+
+TEST(Equivalence, TrafficLight)
+{
+    expectEquivalent(resolveText(trafficLightSpec(64)), 64);
+}
+
+TEST(Equivalence, TinyComputer)
+{
+    int result = 0;
+    auto img = tinyModProgram(23, 7, result);
+    expectEquivalent(resolveText(tinyComputerSpec(img, 400)), 400);
+}
+
+TEST(Equivalence, StackMachineSieve)
+{
+    expectEquivalent(
+        resolveText(stackMachineSpec(sieveProgram(8), 6000, true)),
+        6000);
+}
+
+/** The main property sweep: random specs across many seeds. */
+class EquivalenceProperty : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(EquivalenceProperty, RandomSpec)
+{
+    SyntheticOptions opts;
+    opts.seed = GetParam();
+    opts.alus = 6 + GetParam() % 8;
+    opts.selectors = 2 + GetParam() % 4;
+    opts.memories = 1 + GetParam() % 4;
+    ResolvedSpec rs = resolve(generateSynthetic(opts));
+    std::vector<int32_t> inputs;
+    for (int i = 0; i < 256; ++i)
+        inputs.push_back((i * 2654435761u) % 4096);
+    expectEquivalent(rs, 200, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty,
+                         ::testing::Range(1u, 41u));
+
+/** Optimization flags must never change behavior (VM vs VM). */
+class OptEquivalence : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(OptEquivalence, AllFlagCombos)
+{
+    SyntheticOptions sopts;
+    sopts.seed = GetParam() * 7919;
+    ResolvedSpec rs = resolve(generateSynthetic(sopts));
+
+    auto runWith = [&](const CompilerOptions &copts) {
+        std::ostringstream os;
+        StreamTrace trace(os);
+        VectorIo io;
+        for (int i = 0; i < 128; ++i)
+            io.pushInput(i * 37 % 1000);
+        EngineConfig cfg;
+        cfg.trace = &trace;
+        cfg.io = &io;
+        Vm vm(rs, cfg, copts);
+        try {
+            vm.run(100);
+        } catch (const SimError &) {
+        }
+        return os.str() + "|" + io.text();
+    };
+
+    std::string reference = runWith(CompilerOptions{});
+    for (int m = 0; m < 16; ++m) {
+        CompilerOptions copts;
+        copts.inlineConstAlu = m & 1;
+        copts.specializeConstMem = m & 2;
+        copts.constSelectorTables = m & 4;
+        copts.elideUnusedTemps = m & 8;
+        EXPECT_EQ(runWith(copts), reference) << "flags " << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptEquivalence,
+                         ::testing::Range(1u, 11u));
+
+} // namespace
+} // namespace asim

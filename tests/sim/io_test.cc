@@ -1,0 +1,73 @@
+/** @file Unit tests for memory-mapped I/O devices. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/io.hh"
+
+namespace asim {
+namespace {
+
+TEST(Io, FormatOutput)
+{
+    EXPECT_EQ(formatOutput(0, 65), "A\n");
+    EXPECT_EQ(formatOutput(1, 42), "42\n");
+    EXPECT_EQ(formatOutput(7, 99), "Output to address 7: 99\n");
+    EXPECT_EQ(formatOutput(1, -5), "-5\n");
+}
+
+TEST(Io, StreamIoOutput)
+{
+    std::istringstream in("");
+    std::ostringstream out;
+    StreamIo io(in, out);
+    io.output(0, 'H');
+    io.output(1, 17);
+    io.output(9, 3);
+    EXPECT_EQ(out.str(), "H\n17\nOutput to address 9: 3\n");
+}
+
+TEST(Io, StreamIoInput)
+{
+    std::istringstream in("x 42 7");
+    std::ostringstream out;
+    StreamIo io(in, out);
+    EXPECT_EQ(io.input(0), 'x');   // char read
+    EXPECT_EQ(io.input(1), 42);    // integer read
+    EXPECT_EQ(io.input(5), 7);     // addressed read with prompt
+    EXPECT_EQ(out.str(), "Input from address 5: ");
+}
+
+TEST(Io, VectorIoQueue)
+{
+    VectorIo io;
+    io.pushInput(10);
+    io.pushInput(20);
+    EXPECT_EQ(io.input(1), 10);
+    EXPECT_EQ(io.input(1), 20);
+    EXPECT_EQ(io.input(1), 0); // exhausted -> 0
+}
+
+TEST(Io, VectorIoRecordsOutputs)
+{
+    VectorIo io;
+    io.output(1, 3);
+    io.output(1, 5);
+    io.output(4, 7);
+    EXPECT_EQ(io.outputsAt(1), (std::vector<int32_t>{3, 5}));
+    EXPECT_EQ(io.outputsAt(4), (std::vector<int32_t>{7}));
+    EXPECT_EQ(io.text(), "3\n5\nOutput to address 4: 7\n");
+    io.clear();
+    EXPECT_TRUE(io.outputs().empty());
+}
+
+TEST(Io, NullIo)
+{
+    NullIo io;
+    EXPECT_EQ(io.input(1), 0);
+    io.output(1, 5); // no crash, no effect
+}
+
+} // namespace
+} // namespace asim

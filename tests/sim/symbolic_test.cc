@@ -1,0 +1,86 @@
+/** @file Tests for the symbolic interpreter (the ASIM baseline). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/resolve.hh"
+#include "lang/parser.hh"
+#include "machines/counter.hh"
+#include "machines/stack_machine.hh"
+#include "sim/symbolic.hh"
+
+namespace asim {
+namespace {
+
+TEST(Symbolic, CounterMatchesExpectation)
+{
+    auto e = makeSymbolicInterpreter(resolveText(counterSpec(4, 100)));
+    e->run(20);
+    EXPECT_EQ(e->value("count") & 0xf, 4);
+}
+
+TEST(Symbolic, RunsTheSieve)
+{
+    ResolvedSpec rs =
+        resolveText(stackMachineSpec(sieveProgram(8), 10000));
+    VectorIo io;
+    EngineConfig cfg;
+    cfg.io = &io;
+    auto e = makeSymbolicInterpreter(rs, cfg);
+    e->run(10000);
+    EXPECT_EQ(io.outputsAt(1), sieveReference(8));
+}
+
+TEST(Symbolic, TraceFormatIdenticalToOtherEngines)
+{
+    ResolvedSpec rs = resolveText(counterSpec(3, 10));
+    auto render = [&](std::unique_ptr<Engine> e) {
+        // Each engine gets its own sink stream.
+        return e;
+    };
+    (void)render;
+    std::ostringstream a, b;
+    StreamTrace ta(a), tb(b);
+    EngineConfig ca, cb;
+    ca.trace = &ta;
+    cb.trace = &tb;
+    auto sym = makeSymbolicInterpreter(rs, ca);
+    auto interp = makeInterpreter(rs, cb);
+    sym->run(10);
+    interp->run(10);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Symbolic, SelectorBoundsFault)
+{
+    ResolvedSpec rs = resolveText("# badsel\n"
+                                  "inc count pick .\n"
+                                  "A inc 4 count 1\n"
+                                  "M count 0 inc 1 1\n"
+                                  "S pick count 10 20\n"
+                                  ".\n");
+    auto e = makeSymbolicInterpreter(rs);
+    e->run(2);
+    EXPECT_THROW(e->step(), SimError);
+}
+
+TEST(Symbolic, StatsMatchResolvedInterpreter)
+{
+    ResolvedSpec rs =
+        resolveText(stackMachineSpec(sieveProgram(5), 2000));
+    auto a = makeSymbolicInterpreter(rs);
+    auto b = makeInterpreter(rs);
+    a->run(2000);
+    b->run(2000);
+    EXPECT_EQ(a->stats().aluEvals, b->stats().aluEvals);
+    EXPECT_EQ(a->stats().selEvals, b->stats().selEvals);
+    ASSERT_EQ(a->stats().mems.size(), b->stats().mems.size());
+    for (size_t i = 0; i < a->stats().mems.size(); ++i) {
+        EXPECT_EQ(a->stats().mems[i].total(),
+                  b->stats().mems[i].total());
+    }
+}
+
+} // namespace
+} // namespace asim

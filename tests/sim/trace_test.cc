@@ -1,0 +1,55 @@
+/** @file Unit tests for the trace formats (thesis generated writeln). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace asim {
+namespace {
+
+TEST(Trace, CycleLineFormat)
+{
+    std::ostringstream os;
+    StreamTrace t(os);
+    t.beginCycle(0);
+    t.value("pc", 5);
+    t.value("ac", -3);
+    t.endCycle();
+    // Pascal `cyclecount:3` right-justifies in width 3.
+    EXPECT_EQ(os.str(), "Cycle   0 pc= 5 ac= -3\n");
+}
+
+TEST(Trace, WideCycleNumbers)
+{
+    std::ostringstream os;
+    StreamTrace t(os);
+    t.beginCycle(5545);
+    t.endCycle();
+    EXPECT_EQ(os.str(), "Cycle 5545\n");
+}
+
+TEST(Trace, MemoryMessages)
+{
+    std::ostringstream os;
+    StreamTrace t(os);
+    t.memWrite("ram", 12, 99);
+    t.memRead("ram", 3, 7);
+    EXPECT_EQ(os.str(),
+              "Write to ram at 12: 99\nRead from ram at 3: 7\n");
+}
+
+TEST(Trace, NullTraceSwallows)
+{
+    NullTrace t;
+    t.beginCycle(1);
+    t.value("x", 2);
+    t.endCycle();
+    t.memWrite("m", 0, 0);
+    t.memRead("m", 0, 0);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace asim

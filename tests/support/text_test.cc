@@ -1,0 +1,68 @@
+/** @file Unit tests for text helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/text.hh"
+
+namespace asim {
+namespace {
+
+TEST(Text, CharClasses)
+{
+    EXPECT_TRUE(isLetter('a'));
+    EXPECT_TRUE(isLetter('Z'));
+    EXPECT_FALSE(isLetter('1'));
+    EXPECT_FALSE(isLetter('_'));
+    EXPECT_TRUE(isDigit('0'));
+    EXPECT_FALSE(isDigit('a'));
+    EXPECT_TRUE(isHexDigit('F'));
+    EXPECT_FALSE(isHexDigit('f')); // thesis hex is upper-case only
+    EXPECT_FALSE(isHexDigit('G'));
+}
+
+TEST(Text, ValidNames)
+{
+    EXPECT_TRUE(isValidName("count"));
+    EXPECT_TRUE(isValidName("alu2"));
+    EXPECT_TRUE(isValidName("A"));
+    EXPECT_FALSE(isValidName(""));
+    EXPECT_FALSE(isValidName("2alu"));
+    EXPECT_FALSE(isValidName("a_b"));
+    EXPECT_FALSE(isValidName("a.b"));
+}
+
+TEST(Text, Split)
+{
+    auto p = split("a,b,,c", ',');
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[0], "a");
+    EXPECT_EQ(p[2], "");
+    EXPECT_EQ(split("abc", ',').size(), 1u);
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Text, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Text, StartsWithContains)
+{
+    EXPECT_TRUE(startsWith("abcdef", "abc"));
+    EXPECT_FALSE(startsWith("ab", "abc"));
+    EXPECT_TRUE(contains("hello world", "lo w"));
+    EXPECT_FALSE(contains("hello", "xyz"));
+}
+
+TEST(Text, CountOccurrences)
+{
+    EXPECT_EQ(countOccurrences("aaa", "a"), 3);
+    EXPECT_EQ(countOccurrences("aaaa", "aa"), 2);
+    EXPECT_EQ(countOccurrences("abc", "x"), 0);
+    EXPECT_EQ(countOccurrences("abc", ""), 0);
+}
+
+} // namespace
+} // namespace asim
