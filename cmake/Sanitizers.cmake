@@ -1,0 +1,18 @@
+# Attach sanitizer instrumentation to an interface target.
+#
+#   asim_enable_sanitizers(<target> "address;undefined")
+#
+# Accepts a semicolon- or comma-separated list (the comma form avoids
+# shell quoting when passed as -DASIM_SANITIZE=address,undefined).
+function(asim_enable_sanitizers target sanitizers)
+    if(NOT sanitizers)
+        return()
+    endif()
+    string(REPLACE "," ";" _san_list "${sanitizers}")
+    string(REPLACE ";" "," _san_flag "${_san_list}")
+    set(_gnu_like "$<CXX_COMPILER_ID:GNU,Clang,AppleClang>")
+    target_compile_options(${target} INTERFACE
+        $<${_gnu_like}:-fsanitize=${_san_flag};-fno-omit-frame-pointer;-g>)
+    target_link_options(${target} INTERFACE
+        $<${_gnu_like}:-fsanitize=${_san_flag}>)
+endfunction()

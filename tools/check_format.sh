@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Enforcing format gate: whitespace and encoding invariants that hold
+# across the whole tree. clang-format style is checked separately (and
+# non-blocking, until .clang-format is validated against a real
+# binary); this script is the part of the format contract that must
+# never regress.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+code_sources() {
+    git ls-files -z -- '*.cc' '*.hh' '*.cpp' '*.asim' '*.yml' '*.sh' \
+        '*.cmake' 'CMakeLists.txt' '.clang-format' '.editorconfig' \
+        '.gitignore'
+}
+
+all_sources() {
+    code_sources
+    git ls-files -z -- '*.md'
+}
+
+# 1. No hard tabs in code (markdown may quote tab-indented excerpts).
+if code_sources | xargs -0 -r grep -l -P '\t' | grep .; then
+    echo "error: hard tabs found in the files above" >&2
+    fail=1
+fi
+
+# 2. No trailing whitespace.
+if all_sources | xargs -0 -r grep -l -P '[ \t]+$' | grep .; then
+    echo "error: trailing whitespace found in the files above" >&2
+    fail=1
+fi
+
+# 3. No CRLF line endings.
+if all_sources | xargs -0 -r grep -l -P '\r' | grep .; then
+    echo "error: CRLF line endings found in the files above" >&2
+    fail=1
+fi
+
+# 4. Every file ends with a final newline.
+while IFS= read -r -d '' f; do
+    [ -s "$f" ] || continue
+    if [ -n "$(tail -c 1 "$f")" ]; then
+        echo "error: $f does not end with a newline" >&2
+        fail=1
+    fi
+done < <(all_sources)
+
+if [ "$fail" -eq 0 ]; then
+    echo "format check OK"
+fi
+exit "$fail"
