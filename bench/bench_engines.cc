@@ -2,35 +2,42 @@
  * @file
  * Engine throughput across the three example machines: cycles/second
  * for the interpreter (ASIM baseline) vs the bytecode VM (ASIM II
- * analog). The Figure 5.1 interpreted-vs-compiled gap should be
- * visible on every machine, growing with specification size.
+ * analog), all constructed by name through the Simulation facade.
+ * The Figure 5.1 interpreted-vs-compiled gap should be visible on
+ * every machine, growing with specification size.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "analysis/resolve.hh"
 #include "machines/counter.hh"
 #include "machines/stack_machine.hh"
 #include "machines/tiny_computer.hh"
-#include "sim/engine.hh"
-#include "sim/symbolic.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace {
 
 using namespace asim;
 
-const ResolvedSpec &
+using SharedSpec = std::shared_ptr<const ResolvedSpec>;
+
+const SharedSpec &
 machine(int which)
 {
-    static const ResolvedSpec counter =
-        resolveText(counterSpec(8, 1000));
-    static const ResolvedSpec tiny = [] {
+    static const SharedSpec counter =
+        std::make_shared<const ResolvedSpec>(
+            resolveText(counterSpec(8, 1000)));
+    static const SharedSpec tiny = [] {
         int r = 0;
-        return resolveText(tinyComputerSpec(tinyModProgram(97, 13, r),
-                                            100000));
+        return std::make_shared<const ResolvedSpec>(resolveText(
+            tinyComputerSpec(tinyModProgram(97, 13, r), 100000)));
     }();
-    static const ResolvedSpec stack = resolveText(
-        stackMachineSpec(sieveProgram(kBenchSieveSize), 100000));
+    static const SharedSpec stack =
+        std::make_shared<const ResolvedSpec>(resolveText(
+            stackMachineSpec(sieveProgram(kBenchSieveSize), 100000)));
     switch (which) {
       case 0:
         return counter;
@@ -41,38 +48,20 @@ machine(int which)
     }
 }
 
-enum class Which
-{
-    Symbolic,
-    Interp,
-    Vm,
-};
-
 void
-runEngine(benchmark::State &state, Which which)
+runEngine(benchmark::State &state, const char *engine)
 {
-    const ResolvedSpec &rs = machine(static_cast<int>(state.range(0)));
-    NullIo io;
-    EngineConfig cfg;
-    cfg.io = &io;
-    cfg.collectStats = false;
-    std::unique_ptr<Engine> e;
-    switch (which) {
-      case Which::Symbolic:
-        e = makeSymbolicInterpreter(rs, cfg);
-        break;
-      case Which::Interp:
-        e = makeInterpreter(rs, cfg);
-        break;
-      case Which::Vm:
-        e = makeVm(rs, cfg);
-        break;
-    }
+    SimulationOptions opts;
+    opts.resolved = machine(static_cast<int>(state.range(0)));
+    opts.engine = engine;
+    opts.config.collectStats = false;
+    Simulation sim(opts);
+
     const uint64_t chunk = 1024;
     for (auto _ : state) {
-        e->run(chunk);
-        if (e->cycle() > (1u << 24))
-            e->reset();
+        sim.run(chunk);
+        if (sim.cycle() > (1u << 24))
+            sim.reset();
     }
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * chunk));
@@ -84,19 +73,19 @@ runEngine(benchmark::State &state, Which which)
 void
 BM_SymbolicInterpreter(benchmark::State &state)
 {
-    runEngine(state, Which::Symbolic);
+    runEngine(state, "symbolic");
 }
 
 void
 BM_Interpreter(benchmark::State &state)
 {
-    runEngine(state, Which::Interp);
+    runEngine(state, "interp");
 }
 
 void
 BM_Vm(benchmark::State &state)
 {
-    runEngine(state, Which::Vm);
+    runEngine(state, "vm");
 }
 
 BENCHMARK(BM_SymbolicInterpreter)->Arg(0)->Arg(1)->Arg(2);
@@ -108,18 +97,18 @@ BENCHMARK(BM_Vm)->Arg(0)->Arg(1)->Arg(2);
 void
 BM_VmTraced(benchmark::State &state)
 {
-    const ResolvedSpec &rs = resolveText(
-        stackMachineSpec(sieveProgram(kBenchSieveSize), 100000, true));
     NullTrace trace;
-    NullIo io;
-    EngineConfig cfg;
-    cfg.io = &io;
-    cfg.trace = &trace;
-    auto e = makeVm(rs, cfg);
+    SimulationOptions opts;
+    opts.resolved = std::make_shared<const ResolvedSpec>(resolveText(
+        stackMachineSpec(sieveProgram(kBenchSieveSize), 100000,
+                         true)));
+    opts.engine = "vm";
+    opts.config.trace = &trace;
+    Simulation sim(opts);
     for (auto _ : state) {
-        e->run(1024);
-        if (e->cycle() > (1u << 24))
-            e->reset();
+        sim.run(1024);
+        if (sim.cycle() > (1u << 24))
+            sim.reset();
     }
     state.SetItemsProcessed(state.iterations() * 1024);
 }

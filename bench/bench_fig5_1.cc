@@ -15,25 +15,25 @@
  *
  * Our mapping: ASIM = the table-walking interpreter ("generate
  * tables" = parse+resolve); ASIM II = C++ code generation + host g++
- * + native run; plus the bytecode VM as a modern middle point. The
- * absolute numbers are ~10^5 smaller on 2020s hardware; the claims to
- * check are the *ratios*: compiled simulation roughly an order of
- * magnitude faster than interpreted (thesis: ~20x), and preparation
- * dominating the compiled pipeline (thesis: 2.5x end-to-end win).
+ * + native run; plus the bytecode VM as a modern middle point. All
+ * rows are driven through the Simulation facade — the three systems
+ * differ only by registry name. The absolute numbers are ~10^5
+ * smaller on 2020s hardware; the claims to check are the *ratios*:
+ * compiled simulation roughly an order of magnitude faster than
+ * interpreted (thesis: ~20x), and preparation dominating the
+ * compiled pipeline (thesis: 2.5x end-to-end win).
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "analysis/resolve.hh"
-#include "codegen/native.hh"
-#include "lang/parser.hh"
 #include "machines/stack_machine.hh"
-#include "sim/engine.hh"
-#include "sim/symbolic.hh"
-#include "sim/vm.hh"
+#include "sim/native_engine.hh"
+#include "sim/simulation.hh"
 
 namespace {
 
@@ -81,48 +81,57 @@ main()
                 specText.size(), kBenchSieveSize);
 
     // ---- ASIM row: generate tables + symbolic interpretation --------
-    ResolvedSpec rs;
-    double genTables = timeIt([&] { rs = resolveText(specText); });
-
-    NullIo nullIo;
-    EngineConfig cfg;
-    cfg.io = &nullIo;
-    cfg.collectStats = false;
-
-    double interpSim = timeIt([&] {
-        auto e = makeSymbolicInterpreter(rs, cfg);
-        e->run(iterations);
+    std::shared_ptr<const ResolvedSpec> rs;
+    double genTables = timeIt([&] {
+        rs = std::make_shared<const ResolvedSpec>(
+            resolveText(specText));
     });
+
+    SimulationOptions base;
+    base.resolved = rs;
+    base.config.collectStats = false;
+
+    auto simTime = [&](const char *engine) {
+        SimulationOptions o = base;
+        o.engine = engine;
+        return timeIt([&] {
+            Simulation sim(o);
+            sim.run(iterations);
+        });
+    };
+
+    double interpSim = simTime("symbolic");
 
     // Modern slot-resolved interpreter (intermediate point).
-    double resolvedSim = timeIt([&] {
-        auto e = makeInterpreter(rs, cfg);
-        e->run(iterations);
-    });
+    double resolvedSim = simTime("interp");
 
     // ---- Modern middle point: bytecode VM ---------------------------
-    double vmCompile = timeIt([&] { Vm vm(rs, cfg, {}); }, 5);
-    double vmSim = timeIt([&] {
-        auto e = makeVm(rs, cfg);
-        e->run(iterations);
+    double vmCompile = timeIt([&] {
+        SimulationOptions o = base;
+        o.engine = "vm";
+        Simulation sim(o);
     });
+    double vmSim = simTime("vm");
 
     // ---- ASIM II row: generate C++ + host compile + native run ------
-    CodegenOptions copts;
-    copts.emitTrace = false; // match the no-trace engine runs
     double genCode = 0, hostCompile = 0, nativeSim = 0;
-    bool haveNative = hostCompilerAvailable();
+    bool haveNative = NativeEngine::available();
+    std::unique_ptr<Simulation> nativeSimulation;
+    NativeEngine *native = nullptr;
     if (haveNative) {
-        NativeResult res =
-            compileAndRun(rs, kThesisSieveCycles, copts);
-        genCode = res.generateSeconds;
-        hostCompile = res.compileSeconds;
-        nativeSim = res.simSeconds;
-        // Re-run the binary a few times for a stable sim time.
-        for (int i = 0; i < 4; ++i) {
-            NativeResult again =
-                compileAndRun(rs, kThesisSieveCycles, copts);
-            nativeSim = std::min(nativeSim, again.simSeconds);
+        SimulationOptions o = base;
+        o.engine = "native";
+        nativeSimulation = std::make_unique<Simulation>(o);
+        native =
+            dynamic_cast<NativeEngine *>(&nativeSimulation->engine());
+        genCode = native->build().generateSeconds;
+        hostCompile = native->build().compileSeconds;
+        // Best-of-5 of the self-timed simulation loop.
+        nativeSim = 1e99;
+        for (int i = 0; i < 5; ++i) {
+            nativeSimulation->reset();
+            nativeSimulation->run(iterations);
+            nativeSim = std::min(nativeSim, native->lastSimSeconds());
         }
     }
 
@@ -186,13 +195,14 @@ main()
                     breakEven,
                     static_cast<long long>(kThesisSieveCycles));
 
-        // Demonstrate the crossover with a longer run.
+        // Demonstrate the crossover with a longer run (the compiled
+        // binary is reused — the pipeline's point).
         const int64_t longCycles = 100 * kThesisSieveCycles;
         double longInterp = perCycleInterp * double(longCycles + 1);
-        NativeResult longRun = compileAndRun(rs, longCycles, copts);
+        nativeSimulation->reset();
+        nativeSimulation->run(static_cast<uint64_t>(longCycles + 1));
         double longAsim2 =
-            longRun.generateSeconds + longRun.compileSeconds +
-            longRun.simSeconds;
+            genCode + hostCompile + native->lastSimSeconds();
         std::printf("\nscaled run (%lld cycles):\n",
                     static_cast<long long>(longCycles));
         std::printf("  ASIM    end-to-end: %10.3f s "
@@ -200,8 +210,8 @@ main()
                     genTables + longInterp, genTables, longInterp);
         std::printf("  ASIM II end-to-end: %10.3f s "
                     "(gen %.4f + compile %.3f + sim %.4f)\n",
-                    longAsim2, longRun.generateSeconds,
-                    longRun.compileSeconds, longRun.simSeconds);
+                    longAsim2, genCode, hostCompile,
+                    native->lastSimSeconds());
         std::printf("  end-to-end ratio: %.1fx (paper: 2.5x)\n",
                     (genTables + longInterp) / longAsim2);
     }

@@ -8,15 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "analysis/resolve.hh"
 #include "machines/synthetic.hh"
-#include "sim/engine.hh"
+#include "sim/simulation.hh"
 
 namespace {
 
 using namespace asim;
 
-ResolvedSpec
+std::shared_ptr<const ResolvedSpec>
 synth(int scale)
 {
     SyntheticOptions opts;
@@ -26,35 +28,36 @@ synth(int scale)
     opts.memories = scale;
     opts.withIo = false;
     opts.tracedPercent = 0;
-    return resolve(generateSynthetic(opts));
+    return std::make_shared<const ResolvedSpec>(
+        resolve(generateSynthetic(opts)));
 }
 
 void
-runScaled(benchmark::State &state, bool vm)
+runScaled(benchmark::State &state, const char *engine)
 {
-    ResolvedSpec rs = synth(static_cast<int>(state.range(0)));
-    NullIo io;
-    EngineConfig cfg;
-    cfg.io = &io;
-    cfg.collectStats = false;
-    auto e = vm ? makeVm(rs, cfg) : makeInterpreter(rs, cfg);
+    SimulationOptions opts;
+    opts.resolved = synth(static_cast<int>(state.range(0)));
+    opts.engine = engine;
+    opts.config.collectStats = false;
+    Simulation sim(opts);
     for (auto _ : state)
-        e->run(256);
+        sim.run(256);
     state.SetItemsProcessed(state.iterations() * 256);
-    state.SetLabel(std::to_string(rs.spec.comps.size()) +
-                   " components");
+    state.SetLabel(
+        std::to_string(sim.resolved().spec.comps.size()) +
+        " components");
 }
 
 void
 BM_InterpreterScaling(benchmark::State &state)
 {
-    runScaled(state, false);
+    runScaled(state, "interp");
 }
 
 void
 BM_VmScaling(benchmark::State &state)
 {
-    runScaled(state, true);
+    runScaled(state, "vm");
 }
 
 BENCHMARK(BM_InterpreterScaling)->Arg(1)->Arg(4)->Arg(16)->Arg(48);

@@ -1,8 +1,9 @@
 /**
  * @file
  * Quickstart: describe a small piece of hardware in the ASIM II
- * language, simulate it with both engines, inspect statistics, and
- * generate the Pascal the thesis' compiler would have produced.
+ * language, simulate it through the Simulation facade on two of the
+ * registered engines, inspect statistics, and generate the Pascal
+ * the thesis' compiler would have produced.
  *
  * The machine is the thesis' own "simple counter" example (§3.2) —
  * one ALU and one single-cell memory.
@@ -10,9 +11,8 @@
 
 #include <iostream>
 
-#include "analysis/resolve.hh"
 #include "codegen/codegen.hh"
-#include "sim/engine.hh"
+#include "sim/simulation.hh"
 
 int
 main()
@@ -30,31 +30,48 @@ main()
     std::cout << "--- specification ---------------------------\n"
               << spec << "\n";
 
-    // Parse and resolve (any spec problems throw SpecError here).
-    Diagnostics diag;
-    ResolvedSpec rs = resolveText(spec, &diag);
-    for (const auto &w : diag.warnings())
-        std::cout << w << "\n";
+    // The paper's execution systems, interchangeable by name.
+    std::cout << "--- registered engines ----------------------\n";
+    for (const auto &[name, description] :
+         EngineRegistry::global().list())
+        std::cout << name << ": " << description << "\n";
 
-    // Run on the compiled (VM) engine with a live trace.
-    std::cout << "--- simulation (VM engine) ------------------\n";
-    StreamTrace trace(std::cout);
-    EngineConfig cfg;
-    cfg.trace = &trace;
-    auto engine = makeVm(rs, cfg);
-    engine->run(rs.spec.thesisIterations());
+    // One options struct owns the whole parse -> resolve -> engine
+    // pipeline (any spec problems throw SpecError here).
+    SimulationOptions opts;
+    opts.specText = spec;
+    opts.engine = "vm";
+    opts.traceStream = &std::cout;
+
+    std::cout << "--- simulation (vm engine) ------------------\n";
+    Simulation vm(opts);
+    for (const auto &w : vm.diagnostics().warnings())
+        std::cout << w << "\n";
+    vm.run(vm.defaultCycles());
 
     std::cout << "--- statistics -------------------------------\n"
-              << engine->stats().summary();
+              << vm.stats().summary();
 
     // The interpreter (ASIM baseline) gives identical results.
-    auto interp = makeInterpreter(rs);
-    interp->run(rs.spec.thesisIterations());
-    std::cout << "interpreter count = " << interp->value("count")
-              << ", vm count = " << engine->value("count") << "\n";
+    opts.engine = "interp";
+    opts.traceStream = nullptr;
+    Simulation interp(opts);
+    interp.run(interp.defaultCycles());
+    std::cout << "interpreter count = " << interp.value("count")
+              << ", vm count = " << vm.value("count") << "\n";
+
+    // Run control beyond run(n): watchpoints and snapshots.
+    Simulation watched(opts);
+    uint64_t steps = watched.runUntilValue("count", 9, 100);
+    std::cout << "count reached 9 after " << steps << " cycles\n";
+    EngineSnapshot snap = watched.snapshot();
+    watched.run(5);
+    watched.restore(snap);
+    std::cout << "restored to cycle " << watched.cycle()
+              << ", count = " << watched.value("count") << "\n";
 
     // And this is what the 1986 compiler emitted: Pascal.
     std::cout << "--- generated Pascal (ASIM II output) --------\n"
-              << generatePascal(rs);
+              << generatePascal(watched.resolved());
     return 0;
 }

@@ -1,0 +1,3 @@
+# Scripted input for echo.asim (asim-run --io=script:specs/echo.io):
+# one integer per cycle, five inclusive iterations (= 4).
+10 20 30 40 50

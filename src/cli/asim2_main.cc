@@ -15,9 +15,8 @@
 #include <iostream>
 #include <string>
 
-#include "analysis/resolve.hh"
 #include "codegen/codegen.hh"
-#include "lang/parser.hh"
+#include "sim/simulation.hh"
 
 int
 main(int argc, char **argv)
@@ -68,10 +67,11 @@ main(int argc, char **argv)
     try {
         Diagnostics diag;
         std::cerr << "Reading file " << file << "\n";
-        Spec spec = parseSpecFile(file, &diag);
-        std::cerr << spec.comps.size() << " components read.\n";
+        SimulationOptions sopts;
+        sopts.specFile = file;
+        ResolvedSpec rs = Simulation::loadSpec(sopts, &diag);
+        std::cerr << rs.spec.comps.size() << " components read.\n";
         std::cerr << "Sorting components.\n";
-        ResolvedSpec rs = resolve(spec, &diag);
         for (const auto &w : diag.warnings())
             std::cerr << w << "\n";
         std::cerr << "Generating code.\n";

@@ -1,35 +1,51 @@
 /**
  * @file
- * `asim-run` — run an ASIM II specification.
+ * `asim-run` — run an ASIM II specification through the Simulation
+ * facade.
  *
  * Usage: asim-run [options] <spec-file>
- *   --engine=vm|interp   execution engine (default vm)
+ *   --engine=NAME        execution engine (default vm; see
+ *                        --list-engines for the registry)
  *   --cycles=N           override the spec's `=` cycle count
+ *   --io=MODE            interactive (default), null, or
+ *                        script:<file> — scripted integer inputs,
+ *                        thesis-format outputs on stdout
  *   --stats              print access statistics after the run
  *   --no-trace           suppress the per-cycle trace
  *   --fixed-shl          use repaired shift-left semantics
+ *   --list-engines       list registered engines and exit
  *
  * Mirrors the thesis' interactive behavior: when no cycle count is
  * available it asks "Number of cycles to trace", and after the run it
- * offers "Continue to cycle (0 to quit)".
+ * offers "Continue to cycle (0 to quit)". Scripted runs are fully
+ * non-interactive.
  */
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
-#include "analysis/resolve.hh"
-#include "lang/parser.hh"
-#include "sim/engine.hh"
+#include "sim/simulation.hh"
 
 namespace {
 
 void
 usage()
 {
-    std::cerr << "usage: asim-run [--engine=vm|interp] [--cycles=N]\n"
-              << "                [--stats] [--no-trace] [--fixed-shl]\n"
-              << "                <spec-file>\n";
+    std::cerr << "usage: asim-run [--engine=NAME] [--cycles=N]\n"
+              << "                [--io=interactive|null|script:"
+                 "<file>]\n"
+              << "                [--stats] [--no-trace] "
+                 "[--fixed-shl]\n"
+              << "                [--list-engines] <spec-file>\n";
+}
+
+void
+listEngines()
+{
+    for (const auto &[name, description] :
+         asim::EngineRegistry::global().list()) {
+        std::cout << name << "\t" << description << "\n";
+    }
 }
 
 } // namespace
@@ -40,24 +56,44 @@ main(int argc, char **argv)
     using namespace asim;
 
     std::string file;
-    std::string engineName = "vm";
+    SimulationOptions opts;
+    opts.ioMode = IoMode::Interactive;
     int64_t cycles = -1;
     bool stats = false;
     bool trace = true;
-    AluSemantics sem = AluSemantics::Thesis;
+    bool interactive = true;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--engine=", 0) == 0) {
-            engineName = arg.substr(9);
+            opts.engine = arg.substr(9);
         } else if (arg.rfind("--cycles=", 0) == 0) {
             cycles = std::atoll(arg.c_str() + 9);
+        } else if (arg == "--io=interactive") {
+            opts.ioMode = IoMode::Interactive;
+            interactive = true;
+        } else if (arg == "--io=null") {
+            opts.ioMode = IoMode::Null;
+            interactive = false;
+        } else if (arg.rfind("--io=script:", 0) == 0) {
+            opts.ioMode = IoMode::Script;
+            interactive = false;
+            try {
+                opts.scriptInputs =
+                    Simulation::loadScript(arg.substr(12));
+            } catch (const SimError &e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--no-trace") {
             trace = false;
         } else if (arg == "--fixed-shl") {
-            sem = AluSemantics::Fixed;
+            opts.config.aluSemantics = AluSemantics::Fixed;
+        } else if (arg == "--list-engines") {
+            listEngines();
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -74,44 +110,43 @@ main(int argc, char **argv)
     }
 
     try {
-        Diagnostics diag;
-        ResolvedSpec rs = resolve(parseSpecFile(file, &diag), &diag);
-        for (const auto &w : diag.warnings())
+        opts.specFile = file;
+        opts.traceStream = trace ? &std::cout : nullptr;
+        Simulation sim(opts);
+        for (const auto &w : sim.diagnostics().warnings())
             std::cerr << w << "\n";
-        std::cerr << rs.spec.comps.size() << " components read.\n";
-
-        StreamTrace streamTrace(std::cout);
-        StreamIo io(std::cin, std::cout);
-        EngineConfig cfg;
-        cfg.trace = trace ? &streamTrace : nullptr;
-        cfg.io = &io;
-        cfg.aluSemantics = sem;
-
-        auto engine = engineName == "interp" ? makeInterpreter(rs, cfg)
-                                             : makeVm(rs, cfg);
+        std::cerr << sim.resolved().spec.comps.size()
+                  << " components read.\n";
 
         int64_t todo = cycles;
-        if (todo < 0 && rs.spec.cyclesSpecified)
-            todo = rs.spec.thesisIterations();
+        if (todo < 0)
+            todo = sim.defaultCycles();
         if (todo < 0) {
+            if (!interactive) {
+                std::cerr << "spec names no cycle count; pass "
+                             "--cycles=N\n";
+                return 1;
+            }
             std::cout << "Number of cycles to trace\n";
             std::cin >> todo;
             ++todo; // thesis loop is inclusive
         }
 
         while (todo > 0) {
-            engine->run(static_cast<uint64_t>(todo));
-            if (cycles >= 0)
-                break; // explicit --cycles: no interactive continue
+            sim.run(static_cast<uint64_t>(todo));
+            // Explicit --cycles or a scripted/null run: no
+            // interactive continue.
+            if (cycles >= 0 || !interactive)
+                break;
             std::cout << "Continue to cycle (0 to quit)\n";
             int64_t target = 0;
             if (!(std::cin >> target) || target <= 0)
                 break;
-            todo = target - static_cast<int64_t>(engine->cycle()) + 1;
+            todo = target - static_cast<int64_t>(sim.cycle()) + 1;
         }
 
         if (stats)
-            std::cerr << engine->stats().summary();
+            std::cerr << sim.stats().summary();
         return 0;
     } catch (const SpecError &e) {
         std::cerr << e.what() << "\n";

@@ -40,6 +40,14 @@ struct CodegenOptions
      *  latch exactly as Appendix E does (it is never read). */
     bool emitDataLatchQuirk = true;
 
+    /** C++ only: after the simulation loop, print a machine-readable
+     *  dump of the final machine state on stderr (`STATE_V <slot>
+     *  <value>`, `STATE_M <index> <temp> <adr> <opn>`, `STATE_C
+     *  <index> <cell> <value>`, terminated by `STATE_END`). The
+     *  native engine adapter parses it to reconstruct MachineState
+     *  across the process boundary. */
+    bool emitStateDump = false;
+
     /** ALU shift-left semantics baked into the generated dologic. */
     AluSemantics aluSemantics = AluSemantics::Thesis;
 

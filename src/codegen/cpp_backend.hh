@@ -43,6 +43,7 @@ class CppBackend
     void emitMemoryLatches();
     void emitMemoryUpdate(const MemDesc &m);
     void emitMemoryTraces(const MemDesc &m);
+    void emitStateDump();
     void emitMain();
 
     const ResolvedSpec &rs_;

@@ -58,10 +58,9 @@ hostCompilerAvailable()
     return available;
 }
 
-NativeResult
-compileAndRun(const ResolvedSpec &rs, int64_t cycles,
-              const CodegenOptions &opts, std::string workDir,
-              const std::string &stdinText)
+NativeBuild
+compileSpec(const ResolvedSpec &rs, const CodegenOptions &opts,
+            std::string workDir)
 {
     if (!hostCompilerAvailable())
         throw SimError("no host C++ compiler (g++) available");
@@ -74,51 +73,81 @@ compileAndRun(const ResolvedSpec &rs, int64_t cycles,
         workDir = dir;
     }
 
-    NativeResult res;
-    res.generatedPath = workDir + "/simulator.cc";
-    res.binaryPath = workDir + "/simulator";
+    NativeBuild build;
+    build.workDir = workDir;
+    build.generatedPath = workDir + "/simulator.cc";
+    build.binaryPath = workDir + "/simulator";
 
     // Phase 1: generate code (Figure 5.1 "Generate code").
     auto g0 = Clock::now();
     std::string code = generateCpp(rs, opts);
-    writeFile(res.generatedPath, code);
-    res.generateSeconds = seconds(g0, Clock::now());
+    writeFile(build.generatedPath, code);
+    build.generateSeconds = seconds(g0, Clock::now());
 
     // Phase 2: host compile (Figure 5.1 "Pascal Compile").
     auto c0 = Clock::now();
-    int rc = shell("g++ -O2 -fwrapv -o '" + res.binaryPath + "' '" +
-                   res.generatedPath + "' > '" + workDir +
+    int rc = shell("g++ -O2 -fwrapv -o '" + build.binaryPath + "' '" +
+                   build.generatedPath + "' > '" + workDir +
                    "/compile.log' 2>&1");
-    res.compileSeconds = seconds(c0, Clock::now());
+    build.compileSeconds = seconds(c0, Clock::now());
     if (rc != 0) {
         throw SimError("generated code failed to compile (see " +
                        workDir + "/compile.log)");
     }
+    return build;
+}
 
+NativeRun
+runBinary(const NativeBuild &build, int64_t cycles,
+          const std::string &stdinText)
+{
     // Phase 3: run (Figure 5.1 "Simulation time").
-    const std::string outPath = workDir + "/stdout.txt";
-    const std::string errPath = workDir + "/stderr.txt";
-    const std::string inPath = workDir + "/stdin.txt";
+    const std::string outPath = build.workDir + "/stdout.txt";
+    const std::string errPath = build.workDir + "/stderr.txt";
+    const std::string inPath = build.workDir + "/stdin.txt";
     writeFile(inPath, stdinText);
 
+    NativeRun run;
     auto r0 = Clock::now();
-    rc = shell("'" + res.binaryPath + "' " + std::to_string(cycles) +
-               " < '" + inPath + "' > '" + outPath + "' 2> '" + errPath +
-               "'");
-    res.runSeconds = seconds(r0, Clock::now());
-    res.exitCode = rc;
-    res.stdoutText = readFile(outPath);
+    run.exitCode =
+        shell("'" + build.binaryPath + "' " + std::to_string(cycles) +
+              " < '" + inPath + "' > '" + outPath + "' 2> '" + errPath +
+              "'");
+    run.runSeconds = seconds(r0, Clock::now());
+    run.stdoutText = readFile(outPath);
+    run.stderrText = readFile(errPath);
 
     // The program self-times its loop and reports SIM_NS on stderr.
-    std::string err = readFile(errPath);
-    size_t at = err.find("SIM_NS=");
+    size_t at = run.stderrText.find("SIM_NS=");
     if (at != std::string::npos) {
-        res.simSeconds =
-            std::strtod(err.c_str() + at + 7, nullptr) / 1e9;
+        run.simSeconds =
+            std::strtod(run.stderrText.c_str() + at + 7, nullptr) /
+            1e9;
     }
-    if (rc != 0) {
+    return run;
+}
+
+NativeResult
+compileAndRun(const ResolvedSpec &rs, int64_t cycles,
+              const CodegenOptions &opts, std::string workDir,
+              const std::string &stdinText)
+{
+    NativeBuild build = compileSpec(rs, opts, std::move(workDir));
+    NativeRun run = runBinary(build, cycles, stdinText);
+
+    NativeResult res;
+    res.generateSeconds = build.generateSeconds;
+    res.compileSeconds = build.compileSeconds;
+    res.runSeconds = run.runSeconds;
+    res.simSeconds = run.simSeconds;
+    res.exitCode = run.exitCode;
+    res.stdoutText = run.stdoutText;
+    res.generatedPath = build.generatedPath;
+    res.binaryPath = build.binaryPath;
+    if (run.exitCode != 0) {
         throw SimError("generated simulator exited with status " +
-                       std::to_string(rc) + ": " + err);
+                       std::to_string(run.exitCode) + ": " +
+                       run.stderrText);
     }
     return res;
 }

@@ -18,6 +18,27 @@
 
 namespace asim {
 
+/** A generated-and-compiled simulator on disk, reusable across runs
+ *  (the expensive half of the pipeline, done once). */
+struct NativeBuild
+{
+    double generateSeconds = 0; ///< spec -> C++ text
+    double compileSeconds = 0;  ///< host g++ invocation
+    std::string workDir;        ///< artifact directory
+    std::string generatedPath;  ///< the .cc file on disk
+    std::string binaryPath;
+};
+
+/** One execution of a built simulator (the cheap half). */
+struct NativeRun
+{
+    double runSeconds = 0; ///< whole process wall time
+    double simSeconds = 0; ///< the loop itself (SIM_NS on stderr)
+    int exitCode = 0;      ///< raw wait status from std::system
+    std::string stdoutText;
+    std::string stderrText;
+};
+
 /** Outcome of one generate+compile+run pipeline execution. */
 struct NativeResult
 {
@@ -35,7 +56,29 @@ struct NativeResult
 bool hostCompilerAvailable();
 
 /**
- * Run the full pipeline.
+ * Generate C++ for `rs` and compile it with the host compiler.
+ *
+ * @param workDir directory for artifacts; empty = fresh temp dir
+ *        (recorded in the returned NativeBuild::workDir — the caller
+ *        owns cleanup)
+ * @throws SimError if no compiler exists or compilation fails
+ */
+NativeBuild compileSpec(const ResolvedSpec &rs,
+                        const CodegenOptions &opts = {},
+                        std::string workDir = "");
+
+/**
+ * Execute a built simulator for `cycles` (the program runs cycles+1
+ * loop iterations, thesis semantics). Does not throw on a nonzero
+ * exit: the caller inspects NativeRun::exitCode/stderrText.
+ *
+ * @throws SimError only if the process cannot be launched
+ */
+NativeRun runBinary(const NativeBuild &build, int64_t cycles,
+                    const std::string &stdinText = "");
+
+/**
+ * Run the full pipeline (compileSpec + runBinary).
  *
  * @param rs resolved specification
  * @param cycles value for the generated program's cycle argument; the

@@ -29,6 +29,37 @@ Engine::run(uint64_t cycles)
         step();
 }
 
+EngineSnapshot
+Engine::snapshot() const
+{
+    EngineSnapshot snap;
+    snap.state = state_;
+    snap.cycle = cycle_;
+    snap.stats = stats_;
+    return snap;
+}
+
+void
+Engine::restore(const EngineSnapshot &snap)
+{
+    if (snap.state.vars.size() != state_.vars.size() ||
+        snap.state.mems.size() != state_.mems.size()) {
+        throw SimError("snapshot does not match this specification "
+                       "(component counts differ)");
+    }
+    for (size_t i = 0; i < state_.mems.size(); ++i) {
+        if (snap.state.mems[i].cells.size() !=
+            state_.mems[i].cells.size()) {
+            throw SimError("snapshot does not match this "
+                           "specification (memory <" +
+                           rs_.mems[i].name + "> size differs)");
+        }
+    }
+    state_ = snap.state;
+    cycle_ = snap.cycle;
+    stats_ = snap.stats;
+}
+
 void
 Engine::traceCycle()
 {

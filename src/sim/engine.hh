@@ -46,6 +46,18 @@ struct EngineConfig
     bool collectStats = true;
 };
 
+/** A complete capture of an engine's execution at a cycle boundary:
+ *  machine state, cycle counter, and statistics. Snapshots taken from
+ *  one engine may be restored into any engine running the same
+ *  resolved specification (the equivalence property guarantees the
+ *  continuation is identical). */
+struct EngineSnapshot
+{
+    MachineState state;
+    uint64_t cycle = 0;
+    SimStats stats;
+};
+
 /** A loaded simulation ready to run. Owns a copy of the resolved
  *  specification, so temporaries may be passed safely:
  *  `makeVm(resolveText(text))`. */
@@ -62,8 +74,19 @@ class Engine
     /** Execute exactly one cycle. @throws SimError on runtime faults */
     virtual void step() = 0;
 
-    /** Execute `cycles` cycles. */
-    void run(uint64_t cycles);
+    /** Execute `cycles` cycles. Virtual so out-of-process engines can
+     *  advance in one batch instead of cycle by cycle. */
+    virtual void run(uint64_t cycles);
+
+    /** Capture state + cycle + statistics for a later restore(). */
+    EngineSnapshot snapshot() const;
+
+    /** Adopt a snapshot taken from an engine running the same
+     *  specification; the continuation is cycle-for-cycle identical
+     *  to an uninterrupted run. @throws SimError when the snapshot's
+     *  shape does not match this specification, or when the engine
+     *  cannot adopt external state (the native adapter). */
+    virtual void restore(const EngineSnapshot &snap);
 
     /** Cycles executed since the last reset. */
     uint64_t cycle() const { return cycle_; }

@@ -55,6 +55,26 @@ VectorIo::output(int32_t address, int32_t data)
     text_ += formatOutput(address, data);
 }
 
+ScriptIo::ScriptIo(std::vector<int32_t> inputs, std::ostream &out)
+    : inputs_(inputs.begin(), inputs.end()), out_(&out)
+{}
+
+int32_t
+ScriptIo::input(int32_t)
+{
+    if (inputs_.empty())
+        return 0;
+    int32_t v = inputs_.front();
+    inputs_.pop_front();
+    return v;
+}
+
+void
+ScriptIo::output(int32_t address, int32_t data)
+{
+    *out_ << formatOutput(address, data);
+}
+
 std::vector<int32_t>
 VectorIo::outputsAt(int32_t address) const
 {

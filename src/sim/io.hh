@@ -105,6 +105,31 @@ class VectorIo : public IoDevice
     std::string text_;
 };
 
+/**
+ * Scripted device for reproducible non-interactive runs: inputs come
+ * from a pre-loaded value list (zero when exhausted, matching an
+ * exhausted stdin), outputs are rendered in the thesis text format
+ * onto a stream as they happen, so they interleave correctly with a
+ * trace written to the same stream. Values are returned for every
+ * input address alike; address-0 (character) input specs should use
+ * StreamIo, whose char-wise reads mirror the generated simulator.
+ */
+class ScriptIo : public IoDevice
+{
+  public:
+    ScriptIo(std::vector<int32_t> inputs, std::ostream &out);
+
+    int32_t input(int32_t address) override;
+    void output(int32_t address, int32_t data) override;
+
+    /** Inputs not yet consumed. */
+    size_t remainingInputs() const { return inputs_.size(); }
+
+  private:
+    std::deque<int32_t> inputs_;
+    std::ostream *out_;
+};
+
 /** Render one output event in the thesis text format. */
 std::string formatOutput(int32_t address, int32_t data);
 

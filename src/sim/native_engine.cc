@@ -1,0 +1,243 @@
+#include "sim/native_engine.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <ostream>
+
+namespace asim {
+
+namespace {
+
+/** First line of a diagnostic blob, for compact SimError messages. */
+std::string
+firstLine(const std::string &text)
+{
+    size_t nl = text.find('\n');
+    return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+} // namespace
+
+NativeEngine::NativeEngine(const ResolvedSpec &rs,
+                           const EngineConfig &cfg, Options opts)
+    : Engine(rs, cfg), opts_(std::move(opts))
+{
+    if (cfg.io) {
+        throw SimError(
+            "the native engine performs I/O over the generated "
+            "program's stdio; script inputs instead of passing an "
+            "IoDevice");
+    }
+    opts_.codegen.aluSemantics = cfg.aluSemantics;
+    opts_.codegen.emitTrace = cfg.trace != nullptr;
+    opts_.codegen.emitStateDump = true;
+    ownWorkDir_ = opts_.workDir.empty();
+    build_ = compileSpec(rs_, opts_.codegen, opts_.workDir);
+}
+
+NativeEngine::~NativeEngine()
+{
+    if (ownWorkDir_ && !build_.workDir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(build_.workDir, ec);
+    }
+}
+
+void
+NativeEngine::reset()
+{
+    Engine::reset();
+    allOut_.clear();
+    ioText_.clear();
+    midLine_ = false;
+    lastRun_ = {};
+}
+
+void
+NativeEngine::run(uint64_t cycles)
+{
+    if (cycles == 0)
+        return;
+    advanceTo(cycle_ + cycles);
+}
+
+void
+NativeEngine::restore(const EngineSnapshot &)
+{
+    throw SimError("the native engine cannot restore snapshots: the "
+                   "generated simulator's state lives out of process");
+}
+
+void
+NativeEngine::advanceTo(uint64_t target)
+{
+    // The program executes cycles+1 loop iterations for argument
+    // `cycles` (thesis semantics), so `target` cycles = target-1.
+    NativeRun r = runBinary(build_, static_cast<int64_t>(target) - 1,
+                            opts_.stdinText);
+    if (r.exitCode != 0) {
+        throw SimError("native simulator exited with status " +
+                       std::to_string(r.exitCode) + ": " +
+                       firstLine(r.stderrText));
+    }
+    if (r.stdoutText.size() < allOut_.size() ||
+        r.stdoutText.compare(0, allOut_.size(), allOut_) != 0) {
+        throw SimError("native replay diverged from the previous run "
+                       "(non-deterministic specification?)");
+    }
+    std::string fresh = r.stdoutText.substr(allOut_.size());
+    allOut_ = std::move(r.stdoutText);
+    ingest(fresh);
+    parseStateDump(r.stderrText);
+    if (cfg_.collectStats)
+        stats_.cycles += target - cycle_;
+    cycle_ = target;
+    lastRun_.runSeconds = r.runSeconds;
+    lastRun_.simSeconds = r.simSeconds;
+    lastRun_.exitCode = r.exitCode;
+}
+
+void
+NativeEngine::ingest(std::string_view fresh)
+{
+    auto emitIo = [&](std::string_view piece) {
+        ioText_.append(piece);
+        if (opts_.ioEcho)
+            *opts_.ioEcho << piece;
+    };
+
+    size_t pos = 0;
+    if (midLine_) {
+        // Continuation of a line already partially consumed (an
+        // input prompt at the previous cut): raw I/O text.
+        size_t nl = fresh.find('\n');
+        size_t end = nl == std::string_view::npos ? fresh.size()
+                                                  : nl + 1;
+        emitIo(fresh.substr(0, end));
+        midLine_ = nl == std::string_view::npos;
+        pos = end;
+    }
+    while (pos < fresh.size()) {
+        size_t nl = fresh.find('\n', pos);
+        bool terminated = nl != std::string_view::npos;
+        size_t end = terminated ? nl : fresh.size();
+        std::string_view line = fresh.substr(pos, end - pos);
+        pos = terminated ? nl + 1 : fresh.size();
+
+        if (terminated && cfg_.trace &&
+            line.rfind("Cycle ", 0) == 0) {
+            replayTraceLine(line);
+        } else if (terminated && cfg_.trace &&
+                   line.rfind("Write to ", 0) == 0) {
+            replayMemLine(line, true);
+        } else if (terminated && cfg_.trace &&
+                   line.rfind("Read from ", 0) == 0) {
+            replayMemLine(line, false);
+        } else {
+            // Memory-mapped output or a prompt (only a prompt can be
+            // unterminated: every other print ends with a newline).
+            emitIo(line);
+            if (terminated)
+                emitIo("\n");
+            midLine_ = !terminated;
+        }
+    }
+}
+
+void
+NativeEngine::replayTraceLine(std::string_view lv)
+{
+    // "Cycle %3lld" then " <name>= %d" per starred component.
+    std::string line(lv);
+    char *end = nullptr;
+    uint64_t cyc = std::strtoull(line.c_str() + 6, &end, 10);
+    cfg_.trace->beginCycle(cyc);
+    const char *cur = end;
+    for (const auto &item : rs_.traceList) {
+        std::string needle = " " + item.name + "= ";
+        const char *at = std::strstr(cur, needle.c_str());
+        if (!at)
+            break;
+        long v = std::strtol(at + needle.size(), &end, 10);
+        cfg_.trace->value(item.name, static_cast<int32_t>(v));
+        cur = end;
+    }
+    cfg_.trace->endCycle();
+}
+
+void
+NativeEngine::replayMemLine(std::string_view lv, bool write)
+{
+    // "Write to <mem> at <addr>: <value>" / "Read from <mem> at ...".
+    std::string line(lv);
+    size_t head = write ? 9 : 10;
+    size_t at = line.find(" at ", head);
+    if (at == std::string::npos)
+        return;
+    std::string mem = line.substr(head, at - head);
+    char *end = nullptr;
+    long addr = std::strtol(line.c_str() + at + 4, &end, 10);
+    long v = 0;
+    if (end && end[0] == ':')
+        v = std::strtol(end + 1, nullptr, 10);
+    if (write)
+        cfg_.trace->memWrite(mem, static_cast<int32_t>(addr),
+                             static_cast<int32_t>(v));
+    else
+        cfg_.trace->memRead(mem, static_cast<int32_t>(addr),
+                            static_cast<int32_t>(v));
+}
+
+void
+NativeEngine::parseStateDump(const std::string &err)
+{
+    bool complete = false;
+    size_t pos = 0;
+    auto bad = [&]() {
+        return SimError("corrupt native state dump: " +
+                        firstLine(err.substr(pos)));
+    };
+    while (pos < err.size()) {
+        const char *line = err.c_str() + pos;
+        char *end = nullptr;
+        if (std::strncmp(line, "STATE_V ", 8) == 0) {
+            long slot = std::strtol(line + 8, &end, 10);
+            long v = std::strtol(end, nullptr, 10);
+            if (slot < 0 ||
+                slot >= static_cast<long>(state_.vars.size()))
+                throw bad();
+            state_.vars[slot] = static_cast<int32_t>(v);
+        } else if (std::strncmp(line, "STATE_M ", 8) == 0) {
+            long idx = std::strtol(line + 8, &end, 10);
+            if (idx < 0 ||
+                idx >= static_cast<long>(state_.mems.size()))
+                throw bad();
+            MemoryState &ms = state_.mems[idx];
+            ms.temp = static_cast<int32_t>(std::strtol(end, &end, 10));
+            ms.adr = static_cast<int32_t>(std::strtol(end, &end, 10));
+            ms.opn = static_cast<int32_t>(std::strtol(end, &end, 10));
+        } else if (std::strncmp(line, "STATE_C ", 8) == 0) {
+            long idx = std::strtol(line + 8, &end, 10);
+            long cell = std::strtol(end, &end, 10);
+            long v = std::strtol(end, nullptr, 10);
+            if (idx < 0 ||
+                idx >= static_cast<long>(state_.mems.size()))
+                throw bad();
+            auto &cells = state_.mems[idx].cells;
+            if (cell < 0 || cell >= static_cast<long>(cells.size()))
+                throw bad();
+            cells[cell] = static_cast<int32_t>(v);
+        } else if (std::strncmp(line, "STATE_END", 9) == 0) {
+            complete = true;
+        }
+        size_t nl = err.find('\n', pos);
+        pos = nl == std::string::npos ? err.size() : nl + 1;
+    }
+    if (!complete) {
+        throw SimError("native simulator produced no state dump "
+                       "(stderr: " + firstLine(err) + ")");
+    }
+}
+
+} // namespace asim

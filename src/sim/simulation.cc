@@ -1,0 +1,321 @@
+#include "sim/simulation.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/resolve.hh"
+#include "lang/parser.hh"
+#include "sim/io.hh"
+#include "sim/native_engine.hh"
+#include "sim/symbolic.hh"
+#include "sim/trace.hh"
+
+namespace asim {
+
+// ---------------------------------------------------------------------
+// EngineRegistry
+// ---------------------------------------------------------------------
+
+EngineRegistry &
+EngineRegistry::global()
+{
+    static EngineRegistry *reg = [] {
+        auto *r = new EngineRegistry;
+        r->add("interp",
+               "slot-resolved table interpreter (ASIM analog)",
+               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+                   return makeInterpreter(rs, ctx.config);
+               });
+        r->add("symbolic",
+               "name-lookup symbolic interpreter (faithful ASIM "
+               "baseline)",
+               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+                   return makeSymbolicInterpreter(rs, ctx.config);
+               });
+        r->add("vm", "compiled bytecode VM (portable ASIM II analog)",
+               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+                   return makeVm(rs, ctx.config, ctx.compiler);
+               });
+        r->add("native",
+               "generated C++ through the host compiler, run out of "
+               "process (ASIM II pipeline)",
+               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+                   NativeEngine::Options no;
+                   no.stdinText = ctx.stdinText;
+                   no.ioEcho = ctx.ioEcho;
+                   no.workDir = ctx.workDir;
+                   no.codegen.inlineConstAlu =
+                       ctx.compiler.inlineConstAlu;
+                   no.codegen.specializeConstMem =
+                       ctx.compiler.specializeConstMem;
+                   return std::make_unique<NativeEngine>(
+                       rs, ctx.config, std::move(no));
+               },
+               /*outOfProcess=*/true);
+        return r;
+    }();
+    return *reg;
+}
+
+void
+EngineRegistry::add(const std::string &name,
+                    const std::string &description, Factory factory,
+                    bool outOfProcess)
+{
+    auto [it, inserted] = entries_.try_emplace(
+        name, Entry{std::move(factory), description, outOfProcess});
+    if (!inserted)
+        throw SimError("engine <" + name + "> is already registered");
+}
+
+bool
+EngineRegistry::contains(std::string_view name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+bool
+EngineRegistry::outOfProcess(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() && it->second.outOfProcess;
+}
+
+std::vector<std::pair<std::string, std::string>>
+EngineRegistry::list() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &[name, entry] : entries_)
+        out.emplace_back(name, entry.description);
+    return out;
+}
+
+std::unique_ptr<Engine>
+EngineRegistry::make(std::string_view name, const ResolvedSpec &rs,
+                     const EngineContext &ctx) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throwUnknown(name);
+    return it->second.factory(rs, ctx);
+}
+
+void
+EngineRegistry::throwUnknown(std::string_view name) const
+{
+    std::string known;
+    for (const auto &[n, entry] : entries_) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    throw SimError("unknown engine <" + std::string(name) +
+                   ">; registered engines: " + known);
+}
+
+// ---------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------
+
+namespace {
+
+int
+sourceCount(const SimulationOptions &opts)
+{
+    return (opts.specFile.empty() ? 0 : 1) +
+           (opts.specText.empty() ? 0 : 1) + (opts.resolved ? 1 : 0);
+}
+
+std::string
+renderStdin(const std::vector<int32_t> &inputs)
+{
+    std::string text;
+    for (int32_t v : inputs) {
+        text += std::to_string(v);
+        text += '\n';
+    }
+    return text;
+}
+
+std::string
+slurp(std::istream &in)
+{
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+ResolvedSpec
+Simulation::loadSpec(const SimulationOptions &opts, Diagnostics *diag)
+{
+    if (sourceCount(opts) != 1) {
+        throw SimError("exactly one of specFile, specText, or "
+                       "resolved must be set");
+    }
+    if (opts.resolved)
+        return *opts.resolved;
+    if (!opts.specFile.empty())
+        return resolve(parseSpecFile(opts.specFile, diag), diag);
+    return resolveText(opts.specText, diag);
+}
+
+std::vector<int32_t>
+Simulation::loadScript(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw SimError("cannot read script file " + path);
+    std::vector<int32_t> values;
+    std::string token;
+    while (in >> token) {
+        if (token[0] == '#') {
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        size_t used = 0;
+        long long v = 0;
+        try {
+            v = std::stoll(token, &used, 0);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != token.size()) {
+            throw SimError("script file " + path +
+                           ": not an integer: " + token);
+        }
+        if (v < INT32_MIN || v > INT32_MAX) {
+            throw SimError("script file " + path +
+                           ": value out of 32-bit range: " + token);
+        }
+        values.push_back(static_cast<int32_t>(v));
+    }
+    return values;
+}
+
+Simulation::Simulation(const SimulationOptions &opts)
+    : engineName_(opts.engine)
+{
+    if (sourceCount(opts) != 1) {
+        throw SimError("exactly one of specFile, specText, or "
+                       "resolved must be set");
+    }
+    if (opts.resolved) {
+        rs_ = opts.resolved;
+    } else {
+        rs_ = std::make_shared<const ResolvedSpec>(
+            loadSpec(opts, &diag_));
+    }
+
+    EngineRegistry &reg = EngineRegistry::global();
+    if (!reg.contains(engineName_)) {
+        EngineContext dummy;
+        reg.make(engineName_, *rs_, dummy); // throws, naming engines
+    }
+
+    EngineContext ctx;
+    ctx.config = opts.config;
+    ctx.compiler = opts.compiler;
+    ctx.workDir = opts.workDir;
+
+    std::ostream *out = opts.ioOut ? opts.ioOut : &std::cout;
+
+    if (reg.outOfProcess(engineName_)) {
+        if (ctx.config.io) {
+            throw SimError("engine <" + engineName_ +
+                           "> performs I/O over stdio; use ioMode "
+                           "instead of an IoDevice");
+        }
+        switch (opts.ioMode) {
+          case IoMode::Null:
+            break;
+          case IoMode::Interactive:
+            // Out-of-process runs consume their input up front; only
+            // an explicit stream is slurped (never std::cin).
+            if (opts.ioIn)
+                ctx.stdinText = slurp(*opts.ioIn);
+            ctx.ioEcho = out;
+            break;
+          case IoMode::Script:
+            ctx.stdinText = renderStdin(opts.scriptInputs);
+            ctx.ioEcho = out;
+            break;
+        }
+    } else if (!ctx.config.io) {
+        switch (opts.ioMode) {
+          case IoMode::Null:
+            break;
+          case IoMode::Interactive: {
+            std::istream *in = opts.ioIn ? opts.ioIn : &std::cin;
+            ownedIo_ = std::make_unique<StreamIo>(*in, *out);
+            break;
+          }
+          case IoMode::Script:
+            ownedIo_ =
+                std::make_unique<ScriptIo>(opts.scriptInputs, *out);
+            break;
+        }
+        ctx.config.io = ownedIo_.get();
+    }
+
+    if (!ctx.config.trace && opts.traceStream) {
+        ownedTrace_ = std::make_unique<StreamTrace>(*opts.traceStream);
+        ctx.config.trace = ownedTrace_.get();
+    }
+
+    engine_ = reg.make(engineName_, *rs_, ctx);
+}
+
+std::vector<std::unique_ptr<Simulation>>
+Simulation::makeBatch(const SimulationOptions &opts, size_t count)
+{
+    SimulationOptions shared = opts;
+    if (!shared.resolved) {
+        shared.resolved =
+            std::make_shared<const ResolvedSpec>(loadSpec(opts));
+        shared.specFile.clear();
+        shared.specText.clear();
+    }
+    std::vector<std::unique_ptr<Simulation>> sims;
+    sims.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        sims.push_back(std::make_unique<Simulation>(shared));
+    return sims;
+}
+
+int64_t
+Simulation::defaultCycles() const
+{
+    return rs_->spec.cyclesSpecified ? rs_->spec.thesisIterations()
+                                     : -1;
+}
+
+uint64_t
+Simulation::runUntil(const Predicate &pred, uint64_t maxCycles)
+{
+    for (uint64_t n = 0; n < maxCycles;) {
+        engine_->step();
+        ++n;
+        if (pred(*this))
+            return n;
+    }
+    return maxCycles;
+}
+
+uint64_t
+Simulation::runUntilValue(std::string_view name, int32_t value,
+                          uint64_t maxCycles)
+{
+    std::string comp(name);
+    return runUntil(
+        [&](const Simulation &sim) {
+            return sim.value(comp) == value;
+        },
+        maxCycles);
+}
+
+} // namespace asim

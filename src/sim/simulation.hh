@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The Simulation facade and engine registry — the single front door
+ * to the paper's interchangeable execution systems.
+ *
+ * The thesis' central claim is that one RTL description drives
+ * multiple execution systems: the ASIM table interpreter and the
+ * compiled ASIM II pipeline. This header makes that claim an API:
+ *
+ *  - EngineRegistry maps engine names to factories. Built-ins:
+ *      "interp"   slot-resolved table interpreter (ASIM analog)
+ *      "vm"       compiled bytecode VM (portable ASIM II analog)
+ *      "native"   generated C++ + host compiler, out of process
+ *                 (the ASIM II pipeline proper)
+ *      "symbolic" name-lookup interpreter (faithful ASIM baseline)
+ *
+ *  - Simulation owns the whole parse -> resolve -> engine pipeline
+ *    behind one options struct, plus run control: step()/run(n),
+ *    runUntil(predicate)/watchpoints, snapshot()/restore(), and
+ *    batched construction of independent instances that share one
+ *    resolve.
+ *
+ * Every consumer (CLIs, equivalence tests, benchmarks) constructs
+ * engines through this facade; makeInterpreter()/makeVm() are for
+ * sim internals and engine unit tests only.
+ */
+
+#ifndef ASIM_SIM_SIMULATION_HH
+#define ASIM_SIM_SIMULATION_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace asim {
+
+/** Everything an engine factory may need beyond the resolved spec. */
+struct EngineContext
+{
+    EngineConfig config;
+    CompilerOptions compiler;
+
+    /** Scripted stdin for out-of-process engines; in-process engines
+     *  receive their inputs through config.io instead. */
+    std::string stdinText;
+
+    /** Stream for non-trace output of out-of-process engines. */
+    std::ostream *ioEcho = nullptr;
+
+    /** Artifact directory for engines that build binaries; empty
+     *  means a fresh temporary directory owned by the engine. */
+    std::string workDir;
+};
+
+/** String-keyed factory table of execution engines. */
+class EngineRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Engine>(
+        const ResolvedSpec &, const EngineContext &)>;
+
+    /** The process-wide registry, pre-populated with the built-in
+     *  engines named in the file comment. */
+    static EngineRegistry &global();
+
+    /**
+     * Register an engine.
+     *
+     * @param outOfProcess true when the engine executes outside this
+     *        process (I/O over stdio rather than an IoDevice); the
+     *        facade wires I/O accordingly
+     * @throws SimError on a duplicate name
+     */
+    void add(const std::string &name, const std::string &description,
+             Factory factory, bool outOfProcess = false);
+
+    bool contains(std::string_view name) const;
+
+    /** True for registered engines that run outside this process. */
+    bool outOfProcess(std::string_view name) const;
+
+    /** All registered (name, description) pairs, sorted by name. */
+    std::vector<std::pair<std::string, std::string>> list() const;
+
+    /** Construct an engine by name. @throws SimError naming the
+     *  registered engines when `name` is unknown */
+    std::unique_ptr<Engine> make(std::string_view name,
+                                 const ResolvedSpec &rs,
+                                 const EngineContext &ctx) const;
+
+  private:
+    struct Entry
+    {
+        Factory factory;
+        std::string description;
+        bool outOfProcess = false;
+    };
+
+    [[noreturn]] void throwUnknown(std::string_view name) const;
+
+    std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/** How the facade wires memory-mapped I/O when no explicit IoDevice
+ *  is supplied in SimulationOptions::config. */
+enum class IoMode
+{
+    /** No I/O: inputs read zero, outputs are discarded. */
+    Null,
+
+    /** Thesis-style stream I/O on ioIn/ioOut (default std::cin /
+     *  std::cout): prompts, char reads at address 0. Out-of-process
+     *  engines consume ioIn in full up front (set it to a string
+     *  stream; a truly interactive native run is not supported). */
+    Interactive,
+
+    /** Scripted: inputs come from `scriptInputs`, outputs render in
+     *  the thesis text format onto ioOut. */
+    Script,
+};
+
+/** Options assembling one simulation end to end. */
+struct SimulationOptions
+{
+    /// @{ Specification source — exactly one must be set.
+    std::string specFile;
+    std::string specText;
+    std::shared_ptr<const ResolvedSpec> resolved;
+    /// @}
+
+    /** Engine name in the registry. */
+    std::string engine = "vm";
+
+    /** Engine options. An explicit config.trace / config.io here
+     *  overrides the traceStream / ioMode wiring below. */
+    EngineConfig config;
+
+    /** Bytecode-compiler options ("vm"); the "native" engine maps the
+     *  shared flags onto its code generator. */
+    CompilerOptions compiler;
+
+    /// @{ I/O wiring (used when config.io is null)
+    IoMode ioMode = IoMode::Null;
+    std::vector<int32_t> scriptInputs;
+    std::istream *ioIn = nullptr;
+    std::ostream *ioOut = nullptr;
+    /// @}
+
+    /** When set (and config.trace is null), trace in the thesis text
+     *  format onto this stream. */
+    std::ostream *traceStream = nullptr;
+
+    /** Artifact directory for the native engine. */
+    std::string workDir;
+};
+
+/**
+ * A fully assembled simulation: resolved specification + engine +
+ * I/O/trace wiring, with run control. See the file comment.
+ */
+class Simulation
+{
+  public:
+    /** Build the whole pipeline. @throws SpecError on specification
+     *  problems, SimError on engine/options problems */
+    explicit Simulation(const SimulationOptions &opts);
+
+    /** Parse + resolve the options' specification source without
+     *  building an engine (shared by tools like asim2c). */
+    static ResolvedSpec loadSpec(const SimulationOptions &opts,
+                                 Diagnostics *diag = nullptr);
+
+    /** Parse a script file of whitespace-separated integer inputs;
+     *  `#` starts a comment running to end of line. @throws SimError
+     *  on an unreadable file or a non-integer token */
+    static std::vector<int32_t> loadScript(const std::string &path);
+
+    /** Construct `count` independent instances that share a single
+     *  parse+resolve (throughput workloads). Each instance gets its
+     *  own engine and, in Script mode, its own input queue. */
+    static std::vector<std::unique_ptr<Simulation>>
+    makeBatch(const SimulationOptions &opts, size_t count);
+
+    const std::string &engineName() const { return engineName_; }
+    Engine &engine() { return *engine_; }
+    const Engine &engine() const { return *engine_; }
+    const ResolvedSpec &resolved() const { return *rs_; }
+    const Diagnostics &diagnostics() const { return diag_; }
+
+    /// @{ Run control (forwarded to the engine)
+    void reset() { engine_->reset(); }
+    void step() { engine_->step(); }
+    void run(uint64_t cycles) { engine_->run(cycles); }
+    uint64_t cycle() const { return engine_->cycle(); }
+    /// @}
+
+    /** Cycles+1 of the spec's `=` line (the thesis' inclusive run
+     *  length), or -1 when the spec names no cycle count. */
+    int64_t defaultCycles() const;
+
+    using Predicate = std::function<bool(const Simulation &)>;
+
+    /** Step until `pred(*this)` holds (checked after each cycle) or
+     *  `maxCycles` cycles have executed; returns cycles executed. */
+    uint64_t runUntil(const Predicate &pred, uint64_t maxCycles);
+
+    /** Watchpoint: step until component `name` reads `value`. */
+    uint64_t runUntilValue(std::string_view name, int32_t value,
+                           uint64_t maxCycles);
+
+    int32_t value(std::string_view name) const
+    {
+        return engine_->value(name);
+    }
+    int32_t memCell(std::string_view mem, int64_t addr) const
+    {
+        return engine_->memCell(mem, addr);
+    }
+    const SimStats &stats() const { return engine_->stats(); }
+
+    EngineSnapshot snapshot() const { return engine_->snapshot(); }
+    void restore(const EngineSnapshot &snap)
+    {
+        engine_->restore(snap);
+    }
+
+  private:
+    std::shared_ptr<const ResolvedSpec> rs_;
+    Diagnostics diag_;
+    std::string engineName_;
+    std::unique_ptr<TraceSink> ownedTrace_;
+    std::unique_ptr<IoDevice> ownedIo_;
+    std::unique_ptr<Engine> engine_;
+};
+
+} // namespace asim
+
+#endif // ASIM_SIM_SIMULATION_HH

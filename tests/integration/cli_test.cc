@@ -95,6 +95,59 @@ TEST(Cli, AsimRunStats)
               std::string::npos);
 }
 
+TEST(Cli, AsimRunScriptedIo)
+{
+    std::string script = "/tmp/asim_cli_echo_script.txt";
+    {
+        std::ofstream f(script);
+        f << "# five inputs\n10 20 30 40 50\n";
+    }
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --io=script:" + script + " --no-trace " +
+                      std::string(ASIM_SPECS_DIR) + "/echo.asim");
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("10\n20\n30\n40\n50\n"), std::string::npos)
+        << r.out;
+    std::remove(script.c_str());
+}
+
+TEST(Cli, AsimRunRejectsMissingScript)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --io=script:/nonexistent.txt " +
+                      counterSpec());
+    EXPECT_NE(r.status, 0);
+    EXPECT_NE(r.out.find("cannot read"), std::string::npos) << r.out;
+}
+
+TEST(Cli, AsimRunListsEngines)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) + " --list-engines");
+    EXPECT_EQ(r.status, 0);
+    for (const char *name : {"interp", "vm", "native", "symbolic"})
+        EXPECT_NE(r.out.find(name), std::string::npos) << r.out;
+}
+
+TEST(Cli, AsimRunRejectsUnknownEngine)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --engine=bogus --cycles=5 " + counterSpec());
+    EXPECT_NE(r.status, 0);
+    EXPECT_NE(r.out.find("registered engines"), std::string::npos)
+        << r.out;
+}
+
+TEST(Cli, AsimRunNativeEngine)
+{
+    if (std::system("g++ --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "no host compiler";
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --engine=native --cycles=5 " + counterSpec());
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("Cycle   4 count= 4"), std::string::npos)
+        << r.out;
+}
+
 TEST(Cli, AsimRunRejectsBadSpec)
 {
     CmdResult r = run(std::string(ASIM_RUN_BIN) + " /dev/null");

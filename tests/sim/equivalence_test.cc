@@ -3,24 +3,35 @@
  * the bytecode VM (ASIM II analog) must produce identical traces,
  * identical I/O, and identical final state on randomly generated
  * specifications — the library's strongest correctness guarantee.
+ * All engines are constructed by name through the Simulation facade
+ * (the native pipeline has its own leg in native_equivalence_test.cc,
+ * gated on a host compiler).
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "analysis/resolve.hh"
-#include "lang/writer.hh"
 #include "machines/counter.hh"
 #include "machines/stack_machine.hh"
 #include "machines/synthetic.hh"
 #include "machines/tiny_computer.hh"
-#include "sim/engine.hh"
-#include "sim/symbolic.hh"
-#include "sim/vm.hh"
+#include "sim/io.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace asim {
 namespace {
+
+using SharedSpec = std::shared_ptr<const ResolvedSpec>;
+
+SharedSpec
+share(ResolvedSpec rs)
+{
+    return std::make_shared<const ResolvedSpec>(std::move(rs));
+}
 
 struct RunResult
 {
@@ -32,91 +43,82 @@ struct RunResult
     std::string fault;
 };
 
-enum class Which
-{
-    Interp,
-    Vm,
-    Symbolic,
-};
-
 RunResult
-runEngine(Which which, const ResolvedSpec &rs, uint64_t cycles,
-          const std::vector<int32_t> &inputs)
+runEngine(const std::string &engine, const SharedSpec &rs,
+          uint64_t cycles, const std::vector<int32_t> &inputs,
+          const CompilerOptions &copts = {})
 {
     std::ostringstream os;
     StreamTrace trace(os);
     VectorIo io;
     for (int32_t v : inputs)
         io.pushInput(v);
-    EngineConfig cfg;
-    cfg.trace = &trace;
-    cfg.io = &io;
-    std::unique_ptr<Engine> e;
-    switch (which) {
-      case Which::Interp:
-        e = makeInterpreter(rs, cfg);
-        break;
-      case Which::Vm:
-        e = makeVm(rs, cfg);
-        break;
-      case Which::Symbolic:
-        e = makeSymbolicInterpreter(rs, cfg);
-        break;
-    }
+
+    SimulationOptions opts;
+    opts.resolved = rs;
+    opts.engine = engine;
+    opts.compiler = copts;
+    opts.config.trace = &trace;
+    opts.config.io = &io;
+    Simulation sim(opts);
+
     RunResult r;
     try {
-        e->run(cycles);
+        sim.run(cycles);
     } catch (const SimError &err) {
         r.faulted = true;
         r.fault = err.what();
     }
     r.trace = os.str();
     r.ioText = io.text();
-    r.state = e->state();
-    r.aluEvals = e->stats().aluEvals;
+    r.state = sim.engine().state();
+    r.aluEvals = sim.stats().aluEvals;
     return r;
 }
 
 void
-expectEquivalent(const ResolvedSpec &rs, uint64_t cycles,
+expectEquivalent(const SharedSpec &rs, uint64_t cycles,
                  const std::vector<int32_t> &inputs = {})
 {
-    RunResult a = runEngine(Which::Interp, rs, cycles, inputs);
-    for (Which which : {Which::Vm, Which::Symbolic}) {
-        RunResult b = runEngine(which, rs, cycles, inputs);
-        EXPECT_EQ(a.faulted, b.faulted);
+    RunResult a = runEngine("interp", rs, cycles, inputs);
+    for (const char *engine : {"vm", "symbolic"}) {
+        RunResult b = runEngine(engine, rs, cycles, inputs);
+        EXPECT_EQ(a.faulted, b.faulted) << engine;
         if (a.faulted) {
             // Same diagnostic, modulo nothing: both name the
             // component.
-            EXPECT_EQ(a.fault, b.fault);
+            EXPECT_EQ(a.fault, b.fault) << engine;
         }
-        EXPECT_EQ(a.trace, b.trace);
-        EXPECT_EQ(a.ioText, b.ioText);
-        EXPECT_TRUE(a.state == b.state) << "final state differs";
+        EXPECT_EQ(a.trace, b.trace) << engine;
+        EXPECT_EQ(a.ioText, b.ioText) << engine;
+        EXPECT_TRUE(a.state == b.state)
+            << "final state differs: " << engine;
     }
 }
 
 TEST(Equivalence, Counter)
 {
-    expectEquivalent(resolveText(counterSpec(6, 100)), 100);
+    expectEquivalent(share(resolveText(counterSpec(6, 100))), 100);
 }
 
 TEST(Equivalence, TrafficLight)
 {
-    expectEquivalent(resolveText(trafficLightSpec(64)), 64);
+    expectEquivalent(share(resolveText(trafficLightSpec(64))), 64);
 }
 
 TEST(Equivalence, TinyComputer)
 {
     int result = 0;
     auto img = tinyModProgram(23, 7, result);
-    expectEquivalent(resolveText(tinyComputerSpec(img, 400)), 400);
+    expectEquivalent(share(resolveText(tinyComputerSpec(img, 400))),
+                     400);
 }
 
 TEST(Equivalence, StackMachineSieve)
 {
     expectEquivalent(
-        resolveText(stackMachineSpec(sieveProgram(8), 6000, true)),
+        share(resolveText(
+            stackMachineSpec(sieveProgram(8), 6000, true))),
         6000);
 }
 
@@ -131,7 +133,7 @@ TEST_P(EquivalenceProperty, RandomSpec)
     opts.alus = 6 + GetParam() % 8;
     opts.selectors = 2 + GetParam() % 4;
     opts.memories = 1 + GetParam() % 4;
-    ResolvedSpec rs = resolve(generateSynthetic(opts));
+    SharedSpec rs = share(resolve(generateSynthetic(opts)));
     std::vector<int32_t> inputs;
     for (int i = 0; i < 256; ++i)
         inputs.push_back((i * 2654435761u) % 4096);
@@ -149,23 +151,15 @@ TEST_P(OptEquivalence, AllFlagCombos)
 {
     SyntheticOptions sopts;
     sopts.seed = GetParam() * 7919;
-    ResolvedSpec rs = resolve(generateSynthetic(sopts));
+    SharedSpec rs = share(resolve(generateSynthetic(sopts)));
+
+    std::vector<int32_t> inputs;
+    for (int i = 0; i < 128; ++i)
+        inputs.push_back(i * 37 % 1000);
 
     auto runWith = [&](const CompilerOptions &copts) {
-        std::ostringstream os;
-        StreamTrace trace(os);
-        VectorIo io;
-        for (int i = 0; i < 128; ++i)
-            io.pushInput(i * 37 % 1000);
-        EngineConfig cfg;
-        cfg.trace = &trace;
-        cfg.io = &io;
-        Vm vm(rs, cfg, copts);
-        try {
-            vm.run(100);
-        } catch (const SimError &) {
-        }
-        return os.str() + "|" + io.text();
+        RunResult r = runEngine("vm", rs, 100, inputs, copts);
+        return r.trace + "|" + r.ioText;
     };
 
     std::string reference = runWith(CompilerOptions{});
