@@ -15,15 +15,31 @@
  *   --fixed-shl          use repaired shift-left semantics
  *   --list-engines       list registered engines and exit
  *
+ * Batch mode (bulk-parallel execution through sim/batch.hh):
+ *   --batch=N            run N independent instances of the spec off
+ *                        one shared resolve
+ *   --batch-manifest=F   run the jobs listed in manifest F (one
+ *                        `spec [cycles=..] [io=..] [engine=..]
+ *                        [count=..] [watch=comp:val]` per line)
+ *   --threads=M          worker threads (default: all hardware
+ *                        threads)
+ *   --json=F             also write the batch report as JSON to F
+ *                        (`-` for stdout)
+ * Batch runs print a per-instance summary table instead of a trace
+ * and exit 2 when any instance faulted.
+ *
  * Mirrors the thesis' interactive behavior: when no cycle count is
  * available it asks "Number of cycles to trace", and after the run it
  * offers "Continue to cycle (0 to quit)". Scripted runs are fully
  * non-interactive.
  */
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "sim/batch.hh"
 #include "sim/simulation.hh"
 
 namespace {
@@ -36,7 +52,58 @@ usage()
                  "<file>]\n"
               << "                [--stats] [--no-trace] "
                  "[--fixed-shl]\n"
+              << "                [--batch=N | "
+                 "--batch-manifest=<file>]\n"
+              << "                [--threads=M] [--json=<file>]\n"
               << "                [--list-engines] <spec-file>\n";
+}
+
+/** Assemble and run a batch; returns the process exit code. */
+int
+runBatch(const asim::SimulationOptions &opts, const std::string &file,
+         int64_t batchCount, const std::string &manifest,
+         unsigned threads, int64_t cycles, bool stats,
+         const std::string &jsonPath)
+{
+    using namespace asim;
+
+    BatchOptions bopts;
+    bopts.threads = threads;
+    bopts.captureState = false; // report channels only
+    BatchRunner runner(bopts);
+
+    if (!manifest.empty()) {
+        SimulationOptions defaults = opts;
+        defaults.specFile.clear();
+        runner.loadManifest(
+            manifest, defaults,
+            cycles > 0 ? static_cast<uint64_t>(cycles) : 0);
+    } else {
+        BatchJob job;
+        job.options = opts;
+        job.options.specFile = file;
+        if (cycles > 0)
+            job.cycles = static_cast<uint64_t>(cycles);
+        runner.addBatch(job, static_cast<size_t>(batchCount));
+    }
+
+    BatchResult result = runner.run();
+    std::cout << result.summaryTable();
+    if (stats)
+        std::cerr << result.aggregate.summary();
+    if (!jsonPath.empty()) {
+        if (jsonPath == "-") {
+            std::cout << result.json();
+        } else {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::cerr << "cannot write " << jsonPath << "\n";
+                return 1;
+            }
+            out << result.json();
+        }
+    }
+    return result.allOk() ? 0 : 2;
 }
 
 void
@@ -62,6 +129,11 @@ main(int argc, char **argv)
     bool stats = false;
     bool trace = true;
     bool interactive = true;
+    bool ioFlagSeen = false;
+    int64_t batchCount = 0;
+    std::string manifest;
+    unsigned threads = 0;
+    std::string jsonPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -69,15 +141,35 @@ main(int argc, char **argv)
             opts.engine = arg.substr(9);
         } else if (arg.rfind("--cycles=", 0) == 0) {
             cycles = std::atoll(arg.c_str() + 9);
+        } else if (arg.rfind("--batch=", 0) == 0) {
+            batchCount = std::atoll(arg.c_str() + 8);
+            if (batchCount <= 0) {
+                std::cerr << "--batch wants a positive count\n";
+                return 1;
+            }
+        } else if (arg.rfind("--batch-manifest=", 0) == 0) {
+            manifest = arg.substr(17);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            long long t = std::atoll(arg.c_str() + 10);
+            if (t <= 0) {
+                std::cerr << "--threads wants a positive count\n";
+                return 1;
+            }
+            threads = static_cast<unsigned>(t);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = arg.substr(7);
         } else if (arg == "--io=interactive") {
             opts.ioMode = IoMode::Interactive;
             interactive = true;
+            ioFlagSeen = true;
         } else if (arg == "--io=null") {
             opts.ioMode = IoMode::Null;
             interactive = false;
+            ioFlagSeen = true;
         } else if (arg.rfind("--io=script:", 0) == 0) {
             opts.ioMode = IoMode::Script;
             interactive = false;
+            ioFlagSeen = true;
             try {
                 opts.scriptInputs =
                     Simulation::loadScript(arg.substr(12));
@@ -104,9 +196,36 @@ main(int argc, char **argv)
             file = arg;
         }
     }
-    if (file.empty()) {
+    if (file.empty() && manifest.empty()) {
         usage();
         return 1;
+    }
+
+    if (batchCount > 0 || !manifest.empty()) {
+        if (batchCount > 0 && !manifest.empty()) {
+            std::cerr << "--batch and --batch-manifest are mutually "
+                         "exclusive\n";
+            return 1;
+        }
+        if (manifest.empty() && file.empty()) {
+            usage();
+            return 1;
+        }
+        // Batch instances run concurrently; without an explicit
+        // --io choice they run with null I/O, never interactive.
+        if (!ioFlagSeen)
+            opts.ioMode = IoMode::Null;
+        try {
+            return runBatch(opts, file, std::max<int64_t>(batchCount, 1),
+                            manifest, threads, cycles, stats,
+                            jsonPath);
+        } catch (const SpecError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        } catch (const SimError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
     }
 
     try {

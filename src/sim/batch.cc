@@ -1,0 +1,395 @@
+#include "sim/batch.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "sim/trace.hh"
+#include "support/thread_pool.hh"
+
+namespace asim {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+defaultLabel(const BatchJob &job)
+{
+    if (!job.label.empty())
+        return job.label;
+    if (!job.options.specFile.empty()) {
+        return std::filesystem::path(job.options.specFile)
+            .filename()
+            .string();
+    }
+    return job.options.engine;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// BatchResult
+// ---------------------------------------------------------------------
+
+bool
+BatchResult::allOk() const
+{
+    return std::all_of(
+        instances.begin(), instances.end(),
+        [](const InstanceResult &r) { return !r.faulted; });
+}
+
+std::string
+BatchResult::summaryTable() const
+{
+    size_t labelWidth = 8;
+    for (const auto &r : instances)
+        labelWidth = std::max(labelWidth, r.label.size());
+
+    std::ostringstream os;
+    os << std::left << std::setw(5) << "#" << std::setw(labelWidth + 2)
+       << "spec" << std::setw(10) << "engine" << std::right
+       << std::setw(12) << "cycles" << std::setw(12) << "cycles/s"
+       << "  status\n";
+    for (const auto &r : instances) {
+        os << std::left << std::setw(5) << r.index
+           << std::setw(labelWidth + 2) << r.label << std::setw(10)
+           << r.engine << std::right << std::setw(12) << r.cyclesRun
+           << std::setw(12) << std::fixed << std::setprecision(0)
+           << (r.seconds > 0
+                   ? static_cast<double>(r.cyclesRun) / r.seconds
+                   : 0.0)
+           << "  ";
+        if (r.faulted)
+            os << "FAULT: " << r.fault;
+        else if (r.watchpointHit)
+            os << "watchpoint after " << r.cyclesRun;
+        else
+            os << "ok";
+        os << "\n";
+    }
+    os << instances.size() << " instances, " << threads
+       << " threads: " << aggregate.cycles << " cycles in "
+       << std::setprecision(3) << aggregate.wallSeconds << "s ("
+       << std::setprecision(0) << aggregate.cyclesPerSecond()
+       << " cycles/s aggregate";
+    if (aggregate.faults)
+        os << ", " << aggregate.faults << " faulted";
+    os << ")\n";
+    return os.str();
+}
+
+std::string
+BatchResult::json() const
+{
+    std::ostringstream os;
+    os << "{\n  \"threads\": " << threads << ",\n";
+    os << "  \"aggregate\": {\"tasks\": " << aggregate.tasks
+       << ", \"faults\": " << aggregate.faults
+       << ", \"cycles\": " << aggregate.cycles
+       << ", \"alu_evals\": " << aggregate.aluEvals
+       << ", \"sel_evals\": " << aggregate.selEvals
+       << ", \"mem_accesses\": " << aggregate.memAccesses
+       << ", \"busy_seconds\": " << aggregate.busySeconds
+       << ", \"wall_seconds\": " << aggregate.wallSeconds
+       << ", \"cycles_per_second\": " << aggregate.cyclesPerSecond()
+       << "},\n";
+    os << "  \"instances\": [\n";
+    for (size_t i = 0; i < instances.size(); ++i) {
+        const InstanceResult &r = instances[i];
+        os << "    {\"index\": " << r.index << ", \"label\": \""
+           << jsonEscape(r.label) << "\", \"engine\": \""
+           << jsonEscape(r.engine)
+           << "\", \"cycles_requested\": " << r.cyclesRequested
+           << ", \"cycles_run\": " << r.cyclesRun
+           << ", \"watchpoint_hit\": "
+           << (r.watchpointHit ? "true" : "false")
+           << ", \"faulted\": " << (r.faulted ? "true" : "false")
+           << ", \"fault\": \"" << jsonEscape(r.fault)
+           << "\", \"io_text\": \"" << jsonEscape(r.ioText)
+           << "\", \"seconds\": " << r.seconds << "}"
+           << (i + 1 < instances.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// BatchRunner
+// ---------------------------------------------------------------------
+
+BatchRunner::BatchRunner(BatchOptions opts)
+    : opts_(opts)
+{}
+
+size_t
+BatchRunner::addJob(BatchJob job)
+{
+    const std::string &engine = job.options.engine;
+    if (EngineRegistry::global().outOfProcess(engine)) {
+        throw SimError(
+            "engine <" + engine +
+            "> runs out of process and replays from cycle zero on "
+            "every run(n) (quadratic under cycle sharding; see "
+            "DESIGN.md); batch execution supports in-process engines "
+            "only");
+    }
+    if (job.options.ioMode == IoMode::Interactive) {
+        throw SimError("batch instances run concurrently; "
+                       "interactive I/O is not supported — use null "
+                       "or script I/O per instance");
+    }
+    job.label = defaultLabel(job);
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+size_t
+BatchRunner::addBatch(BatchJob job, size_t count)
+{
+    size_t first = jobs_.size();
+    if (count == 0)
+        return first;
+    // Label before sharing: shareBatchArtifacts folds specFile into
+    // the resolved spec, which would erase the file-name label.
+    std::string base = defaultLabel(job);
+    // Resolve (and for "vm" compile) once up front; the copies below
+    // all carry the same shared immutable artifacts. captureTrace
+    // attaches its sink only at run(), so it must force trace
+    // checks into the shared bytecode here.
+    job.options = Simulation::shareBatchArtifacts(job.options,
+                                                  job.captureTrace);
+    job.label = base;
+    for (size_t i = 0; i < count; ++i) {
+        BatchJob j = job;
+        if (count > 1)
+            j.label = base + "#" + std::to_string(i);
+        addJob(std::move(j));
+    }
+    return first;
+}
+
+BatchResult
+BatchRunner::run()
+{
+    /** Everything one instance touches while running — all owned
+     *  here, none of it shared across instances. */
+    struct Work
+    {
+        std::unique_ptr<Simulation> sim;
+        std::ostringstream io;
+        std::ostringstream trace;
+        std::unique_ptr<StreamTrace> traceSink;
+        uint64_t budget = 0;
+    };
+
+    BatchResult result;
+    result.instances.resize(jobs_.size());
+    std::vector<Work> works(jobs_.size());
+
+    // Construction is serial: any SpecError/SimError here is a batch
+    // configuration problem and propagates to the caller.
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        const BatchJob &job = jobs_[i];
+        Work &w = works[i];
+
+        SimulationOptions opts = job.options;
+        opts.ioOut = &w.io;
+        opts.traceStream = nullptr;
+        if (job.captureTrace && !opts.config.trace) {
+            w.traceSink = std::make_unique<StreamTrace>(w.trace);
+            opts.config.trace = w.traceSink.get();
+        }
+        w.sim = std::make_unique<Simulation>(opts);
+
+        int64_t budget = static_cast<int64_t>(job.cycles);
+        if (budget == 0)
+            budget = w.sim->defaultCycles();
+        if (budget <= 0) {
+            throw SimError("batch job " + std::to_string(i) + " (" +
+                           job.label +
+                           "): no cycle budget — the spec names no "
+                           "cycle count and none was given");
+        }
+        w.budget = static_cast<uint64_t>(budget);
+
+        InstanceResult &r = result.instances[i];
+        r.index = i;
+        r.label = job.label;
+        r.engine = opts.engine;
+        r.cyclesRequested = w.budget;
+    }
+
+    ThreadPool pool(opts_.threads);
+    result.threads = pool.size();
+
+    auto batchStart = std::chrono::steady_clock::now();
+    pool.parallelFor(0, works.size(), [&](size_t i) {
+        const BatchJob &job = jobs_[i];
+        Work &w = works[i];
+        InstanceResult &r = result.instances[i];
+
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            if (!job.watchName.empty()) {
+                r.cyclesRun = w.sim->runUntilValue(
+                    job.watchName, job.watchValue, w.budget);
+                r.watchpointHit =
+                    w.sim->value(job.watchName) == job.watchValue;
+            } else {
+                w.sim->run(w.budget);
+                r.cyclesRun = w.budget;
+            }
+        } catch (const SimError &e) {
+            r.faulted = true;
+            r.fault = e.what();
+            r.cyclesRun = w.sim->cycle();
+        }
+        r.seconds = secondsSince(t0);
+        r.ioText = w.io.str();
+        r.traceText = w.trace.str();
+        r.stats = w.sim->stats();
+        if (opts_.captureState)
+            r.state = w.sim->engine().state();
+    });
+    double wall = secondsSince(batchStart);
+
+    // Deterministic aggregation: fold per-instance records in index
+    // order, independent of which thread finished when.
+    for (const auto &r : result.instances)
+        result.aggregate.addTask(r.stats, r.seconds, r.faulted);
+    result.aggregate.wallSeconds = wall;
+    return result;
+}
+
+size_t
+BatchRunner::loadManifest(const std::string &path,
+                          const SimulationOptions &defaults,
+                          uint64_t defaultCycles)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw SimError("cannot read batch manifest " + path);
+    const std::filesystem::path dir =
+        std::filesystem::path(path).parent_path();
+
+    auto resolvePath = [&](const std::string &p) {
+        std::filesystem::path fp(p);
+        return fp.is_absolute() ? fp.string() : (dir / fp).string();
+    };
+
+    size_t added = 0;
+    std::string line;
+    for (int lineNo = 1; std::getline(in, line); ++lineNo) {
+        if (auto hash = line.find('#'); hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string spec;
+        if (!(ls >> spec))
+            continue; // blank or comment-only line
+
+        auto bad = [&](const std::string &what) {
+            return SimError("batch manifest " + path + ":" +
+                            std::to_string(lineNo) + ": " + what);
+        };
+
+        BatchJob job;
+        job.options = defaults;
+        job.options.specFile = resolvePath(spec);
+        job.cycles = defaultCycles;
+        size_t count = 1;
+
+        std::string kv;
+        while (ls >> kv) {
+            auto eq = kv.find('=');
+            if (eq == std::string::npos)
+                throw bad("expected key=value, got: " + kv);
+            std::string key = kv.substr(0, eq);
+            std::string value = kv.substr(eq + 1);
+            if (key == "cycles") {
+                job.cycles = std::strtoull(value.c_str(), nullptr, 10);
+                if (job.cycles == 0)
+                    throw bad("cycles must be a positive integer: " +
+                              value);
+            } else if (key == "io") {
+                job.options.ioMode = IoMode::Script;
+                job.options.scriptInputs =
+                    Simulation::loadScript(resolvePath(value));
+            } else if (key == "engine") {
+                job.options.engine = value;
+            } else if (key == "count") {
+                count = std::strtoull(value.c_str(), nullptr, 10);
+                if (count == 0)
+                    throw bad("count must be a positive integer: " +
+                              value);
+            } else if (key == "watch") {
+                auto colon = value.find(':');
+                if (colon == std::string::npos)
+                    throw bad("watch wants component:value, got: " +
+                              value);
+                job.watchName = value.substr(0, colon);
+                job.watchValue = static_cast<int32_t>(std::strtol(
+                    value.c_str() + colon + 1, nullptr, 0));
+            } else {
+                throw bad("unknown key <" + key + ">");
+            }
+        }
+
+        if (count > 1)
+            addBatch(std::move(job), count);
+        else
+            addJob(std::move(job));
+        added += count;
+    }
+    return added;
+}
+
+} // namespace asim

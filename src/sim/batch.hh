@@ -1,0 +1,180 @@
+/**
+ * @file
+ * BatchRunner — bulk-parallel execution of independent simulations.
+ *
+ * The paper's pipeline produces one simulator per specification; the
+ * throughput story for modern RTL workloads is *many* independent
+ * instances saturating all host cores off shared immutable inputs.
+ * BatchRunner is that driver:
+ *
+ *  - a **homogeneous** batch (addBatch) shards N instances off one
+ *    parse+resolve — and one compiled bytecode program for the "vm"
+ *    engine (Simulation::shareBatchArtifacts);
+ *  - a **heterogeneous** batch (addJob / loadManifest) mixes specs,
+ *    engines, cycle budgets, per-instance input scripts, and
+ *    watchpoints in one run;
+ *  - run() executes every job on a support/thread_pool work queue
+ *    and merges results **deterministically**: InstanceResults come
+ *    back ordered by instance index with contents (state, trace,
+ *    I/O text, statistics) byte-identical under any thread count —
+ *    the property tests/sim/batch_test.cc enforces.
+ *
+ * What is shared between concurrently running instances is immutable
+ * (ResolvedSpec, Program — see DESIGN.md §7); everything mutable
+ * (MachineState, statistics, I/O devices, trace sinks, output
+ * buffers) is per-instance. Out-of-process engines ("native") are
+ * refused up front: NativeEngine::run(n) re-executes the generated
+ * binary from cycle zero, so driving it cycle-sharded would turn a
+ * linear workload quadratic (DESIGN.md §5) — and its subprocesses
+ * would oversubscribe the pool's cores behind the scheduler's back.
+ */
+
+#ifndef ASIM_SIM_BATCH_HH
+#define ASIM_SIM_BATCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "support/stats.hh"
+
+namespace asim {
+
+/** One simulation to run as part of a batch. */
+struct BatchJob
+{
+    /** Full per-job pipeline options. Stream pointers (ioOut,
+     *  traceStream) are ignored — the runner substitutes per-instance
+     *  buffers so parallel jobs never share a stream. An explicit
+     *  config.io / config.trace is honored but must not be shared
+     *  with any other job in the batch. */
+    SimulationOptions options;
+
+    /** Cycle budget; 0 means the spec's `=` count (an error when the
+     *  spec names none). */
+    uint64_t cycles = 0;
+
+    /** Optional watchpoint: stop early once component `watchName`
+     *  reads `watchValue` (checked after each cycle). */
+    std::string watchName;
+    int32_t watchValue = 0;
+
+    /** Capture the thesis-format per-cycle trace into
+     *  InstanceResult::traceText. Off by default: tracing a large
+     *  batch is rarely wanted and never free. */
+    bool captureTrace = false;
+
+    /** Display label for reports; defaults to the spec file name or
+     *  the engine name. */
+    std::string label;
+};
+
+/** What one instance produced, every channel per-instance. */
+struct InstanceResult
+{
+    size_t index = 0;          ///< position in the batch
+    std::string label;
+    std::string engine;
+    uint64_t cyclesRequested = 0;
+    uint64_t cyclesRun = 0;
+    bool watchpointHit = false;
+    bool faulted = false;
+    std::string fault;         ///< SimError text when faulted
+    std::string ioText;        ///< scripted outputs, thesis format
+    std::string traceText;     ///< captured trace (captureTrace)
+    SimStats stats;
+    MachineState state;        ///< final machine state
+    double seconds = 0;        ///< this instance's wall time
+};
+
+/** A completed batch: per-instance results in index order plus the
+ *  deterministic aggregate. */
+struct BatchResult
+{
+    std::vector<InstanceResult> instances;
+    RunStats aggregate;
+    unsigned threads = 0;      ///< pool size that ran the batch
+
+    /** True when no instance faulted. */
+    bool allOk() const;
+
+    /** Render the CLI summary table. */
+    std::string summaryTable() const;
+
+    /** Render a JSON report (asim-run --json). */
+    std::string json() const;
+};
+
+/** Execution knobs for a BatchRunner. */
+struct BatchOptions
+{
+    /** Worker threads; 0 means ThreadPool::hardwareThreads(). */
+    unsigned threads = 0;
+
+    /** Keep each instance's final MachineState in the result (memory
+     *  proportional to batch size x spec size when on). */
+    bool captureState = true;
+};
+
+/** See file comment. */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchOptions opts = {});
+
+    /**
+     * Append one heterogeneous job. @return the job's instance index
+     * @throws SimError for an out-of-process engine (the "native"
+     *         pipeline re-executes from cycle zero per run(n) —
+     *         quadratic under cycle sharding; see file comment)
+     */
+    size_t addJob(BatchJob job);
+
+    /** Append `count` homogeneous instances sharing one resolve (and
+     *  one compiled program for "vm"). Per-instance fields of `job`
+     *  (cycles, watchpoint, label) apply to every instance; labels
+     *  get an `#i` suffix. @return index of the first instance */
+    size_t addBatch(BatchJob job, size_t count);
+
+    /** Jobs added so far. */
+    size_t jobCount() const { return jobs_.size(); }
+
+    /**
+     * Build every simulation (serially — construction cost is the
+     * shared-resolve path's to amortize), run all instances on the
+     * thread pool, and merge results by instance index.
+     *
+     * Spec/engine errors (SpecError, SimError during construction)
+     * propagate; *runtime* faults inside an instance are captured in
+     * its InstanceResult instead of aborting the batch.
+     */
+    BatchResult run();
+
+    /**
+     * Parse a batch manifest: one job per line,
+     *
+     *     <spec-file> [key=value]...   # comment
+     *
+     * with keys `cycles` (uint), `io` (input script path, parsed by
+     * Simulation::loadScript), `engine` (registry name), `count`
+     * (instances of this line), and `watch` (`component:value`).
+     * Relative spec/io paths resolve against the manifest's
+     * directory. `defaults` seeds every job's SimulationOptions
+     * (engine, compiler flags, ALU semantics...); `defaultCycles`,
+     * when nonzero, is the budget for lines without a `cycles=` key
+     * (overriding any spec `=` count, like the CLI's --cycles).
+     * @throws SimError on unreadable files or malformed lines
+     */
+    size_t loadManifest(const std::string &path,
+                        const SimulationOptions &defaults,
+                        uint64_t defaultCycles = 0);
+
+  private:
+    BatchOptions opts_;
+    std::vector<BatchJob> jobs_;
+};
+
+} // namespace asim
+
+#endif // ASIM_SIM_BATCH_HH

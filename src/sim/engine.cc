@@ -2,22 +2,27 @@
 
 namespace asim {
 
-Engine::Engine(const ResolvedSpec &rs, const EngineConfig &cfg)
-    : rs_(rs), cfg_(cfg), io_(cfg.io ? cfg.io : &nullIo_)
+Engine::Engine(std::shared_ptr<const ResolvedSpec> rs,
+               const EngineConfig &cfg)
+    : rs_(std::move(rs)), cfg_(cfg), io_(cfg.io ? cfg.io : &nullIo_)
 {
     stats_.mems.clear();
-    for (const auto &m : rs.mems) {
+    for (const auto &m : rs_->mems) {
         MemStats ms;
         ms.name = m.name;
         stats_.mems.push_back(std::move(ms));
     }
-    state_.reset(rs_);
+    state_.reset(*rs_);
 }
+
+Engine::Engine(const ResolvedSpec &rs, const EngineConfig &cfg)
+    : Engine(std::make_shared<const ResolvedSpec>(rs), cfg)
+{}
 
 void
 Engine::reset()
 {
-    state_.reset(rs_);
+    state_.reset(*rs_);
     stats_.reset();
     cycle_ = 0;
 }
@@ -52,7 +57,7 @@ Engine::restore(const EngineSnapshot &snap)
             state_.mems[i].cells.size()) {
             throw SimError("snapshot does not match this "
                            "specification (memory <" +
-                           rs_.mems[i].name + "> size differs)");
+                           rs_->mems[i].name + "> size differs)");
         }
     }
     state_ = snap.state;
@@ -66,7 +71,7 @@ Engine::traceCycle()
     if (!cfg_.trace)
         return;
     cfg_.trace->beginCycle(cycle_);
-    for (const auto &item : rs_.traceList) {
+    for (const auto &item : rs_->traceList) {
         int32_t v = item.isMem ? state_.mems[item.slot].temp
                                : state_.vars[item.slot];
         cfg_.trace->value(item.name, v);
@@ -77,10 +82,10 @@ Engine::traceCycle()
 int32_t
 Engine::value(std::string_view name) const
 {
-    int vs = rs_.varSlot(name);
+    int vs = rs_->varSlot(name);
     if (vs >= 0)
         return state_.vars[vs];
-    int mi = rs_.memIndex(name);
+    int mi = rs_->memIndex(name);
     if (mi >= 0)
         return state_.mems[mi].temp;
     throw SimError("unknown component <" + std::string(name) + ">");
@@ -89,7 +94,7 @@ Engine::value(std::string_view name) const
 int32_t
 Engine::memCell(std::string_view mem, int64_t addr) const
 {
-    int mi = rs_.memIndex(mem);
+    int mi = rs_->memIndex(mem);
     if (mi < 0)
         throw SimError("unknown memory <" + std::string(mem) + ">");
     const auto &cells = state_.mems[mi].cells;

@@ -58,13 +58,22 @@ struct EngineSnapshot
     SimStats stats;
 };
 
-/** A loaded simulation ready to run. Owns a copy of the resolved
- *  specification, so temporaries may be passed safely:
- *  `makeVm(resolveText(text))`. */
+/**
+ * A loaded simulation ready to run.
+ *
+ * The resolved specification is held through a
+ * `shared_ptr<const ResolvedSpec>`: engines only ever *read* it, so
+ * any number of instances — including instances running concurrently
+ * on different threads (sim/batch.hh) — may share one resolve. The
+ * const-ref constructor copies the argument into a fresh shared spec,
+ * so temporaries remain safe: `makeVm(resolveText(text))`.
+ */
 class Engine
 {
   public:
     explicit Engine(const ResolvedSpec &rs, const EngineConfig &cfg);
+    Engine(std::shared_ptr<const ResolvedSpec> rs,
+           const EngineConfig &cfg);
     virtual ~Engine() = default;
 
     /** Re-initialize all state ("All components are initialized to
@@ -96,7 +105,14 @@ class Engine
 
     const SimStats &stats() const { return stats_; }
 
-    const ResolvedSpec &resolved() const { return rs_; }
+    const ResolvedSpec &resolved() const { return *rs_; }
+
+    /** The shared immutable resolve this engine reads. */
+    const std::shared_ptr<const ResolvedSpec> &
+    resolvedShared() const
+    {
+        return rs_;
+    }
 
     /** Current observable value of a component: a combinational output
      *  or a memory's output latch. @throws SimError on unknown name */
@@ -109,7 +125,8 @@ class Engine
     /** Emit the per-cycle trace line for the starred components. */
     void traceCycle();
 
-    ResolvedSpec rs_;
+    /** Immutable, potentially cross-thread-shared; never written. */
+    std::shared_ptr<const ResolvedSpec> rs_;
     EngineConfig cfg_;
     MachineState state_;
     SimStats stats_;
@@ -121,6 +138,9 @@ class Engine
 /** Build the table-walking interpreter (ASIM analog). */
 std::unique_ptr<Engine> makeInterpreter(const ResolvedSpec &rs,
                                         const EngineConfig &cfg = {});
+std::unique_ptr<Engine>
+makeInterpreter(std::shared_ptr<const ResolvedSpec> rs,
+                const EngineConfig &cfg = {});
 
 /** Options for the bytecode compiler (see sim/compiler.hh). */
 struct CompilerOptions
@@ -145,6 +165,20 @@ struct CompilerOptions
 std::unique_ptr<Engine> makeVm(const ResolvedSpec &rs,
                                const EngineConfig &cfg = {},
                                const CompilerOptions &opts = {});
+std::unique_ptr<Engine> makeVm(std::shared_ptr<const ResolvedSpec> rs,
+                               const EngineConfig &cfg = {},
+                               const CompilerOptions &opts = {});
+
+struct Program;
+
+/** Build a bytecode VM executing a pre-compiled shared program. The
+ *  program must have been compiled from `rs` with trace checks kept
+ *  whenever `cfg.trace` may be set (sim/compiler.hh); batch
+ *  construction uses this to compile once and share the immutable
+ *  bytecode across all instances. */
+std::unique_ptr<Engine> makeVm(std::shared_ptr<const ResolvedSpec> rs,
+                               const EngineConfig &cfg,
+                               std::shared_ptr<const Program> program);
 
 } // namespace asim
 

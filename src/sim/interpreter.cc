@@ -4,8 +4,9 @@
 
 namespace asim {
 
-Interpreter::Interpreter(const ResolvedSpec &rs, const EngineConfig &cfg)
-    : Engine(rs, cfg)
+Interpreter::Interpreter(std::shared_ptr<const ResolvedSpec> rs,
+                         const EngineConfig &cfg)
+    : Engine(std::move(rs), cfg)
 {}
 
 int32_t
@@ -26,7 +27,7 @@ Interpreter::eval(const ResolvedExpr &e) const
 void
 Interpreter::evalCombinational()
 {
-    for (const auto &c : rs_.comb) {
+    for (const auto &c : rs_->comb) {
         if (c.kind == CompKind::Alu) {
             int32_t f = eval(c.funct);
             int32_t l = eval(c.left);
@@ -53,7 +54,7 @@ Interpreter::evalCombinational()
 void
 Interpreter::latchMemories()
 {
-    for (const auto &m : rs_.mems) {
+    for (const auto &m : rs_->mems) {
         MemoryState &ms = state_.mems[m.index];
         ms.adr = eval(m.addr);
         ms.opn = eval(m.opn);
@@ -63,7 +64,7 @@ Interpreter::latchMemories()
 void
 Interpreter::updateMemories()
 {
-    for (const auto &m : rs_.mems) {
+    for (const auto &m : rs_->mems) {
         MemoryState &ms = state_.mems[m.index];
         const int32_t op = land(ms.opn, 3);
         const int32_t adr = ms.adr;
@@ -130,7 +131,15 @@ Interpreter::step()
 std::unique_ptr<Engine>
 makeInterpreter(const ResolvedSpec &rs, const EngineConfig &cfg)
 {
-    return std::make_unique<Interpreter>(rs, cfg);
+    return makeInterpreter(std::make_shared<const ResolvedSpec>(rs),
+                           cfg);
+}
+
+std::unique_ptr<Engine>
+makeInterpreter(std::shared_ptr<const ResolvedSpec> rs,
+                const EngineConfig &cfg)
+{
+    return std::make_unique<Interpreter>(std::move(rs), cfg);
 }
 
 } // namespace asim

@@ -21,7 +21,8 @@ namespace asim {
 class Interpreter : public Engine
 {
   public:
-    Interpreter(const ResolvedSpec &rs, const EngineConfig &cfg);
+    Interpreter(std::shared_ptr<const ResolvedSpec> rs,
+                const EngineConfig &cfg);
 
     void step() override;
 

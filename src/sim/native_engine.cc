@@ -19,9 +19,9 @@ firstLine(const std::string &text)
 
 } // namespace
 
-NativeEngine::NativeEngine(const ResolvedSpec &rs,
+NativeEngine::NativeEngine(std::shared_ptr<const ResolvedSpec> rs,
                            const EngineConfig &cfg, Options opts)
-    : Engine(rs, cfg), opts_(std::move(opts))
+    : Engine(std::move(rs), cfg), opts_(std::move(opts))
 {
     if (cfg.io) {
         throw SimError(
@@ -33,7 +33,7 @@ NativeEngine::NativeEngine(const ResolvedSpec &rs,
     opts_.codegen.emitTrace = cfg.trace != nullptr;
     opts_.codegen.emitStateDump = true;
     ownWorkDir_ = opts_.workDir.empty();
-    build_ = compileSpec(rs_, opts_.codegen, opts_.workDir);
+    build_ = compileSpec(*rs_, opts_.codegen, opts_.workDir);
 }
 
 NativeEngine::~NativeEngine()
@@ -154,7 +154,7 @@ NativeEngine::replayTraceLine(std::string_view lv)
     uint64_t cyc = std::strtoull(line.c_str() + 6, &end, 10);
     cfg_.trace->beginCycle(cyc);
     const char *cur = end;
-    for (const auto &item : rs_.traceList) {
+    for (const auto &item : rs_->traceList) {
         std::string needle = " " + item.name + "= ";
         const char *at = std::strstr(cur, needle.c_str());
         if (!at)

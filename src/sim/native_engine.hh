@@ -70,8 +70,13 @@ class NativeEngine : public Engine
     /** Generates and host-compiles the simulator (the expensive,
      *  once-only half of the pipeline). @throws SimError when no host
      *  compiler is available or compilation fails */
+    NativeEngine(std::shared_ptr<const ResolvedSpec> rs,
+                 const EngineConfig &cfg, Options opts);
     NativeEngine(const ResolvedSpec &rs, const EngineConfig &cfg,
-                 Options opts);
+                 Options opts)
+        : NativeEngine(std::make_shared<const ResolvedSpec>(rs), cfg,
+                       std::move(opts))
+    {}
     NativeEngine(const ResolvedSpec &rs, const EngineConfig &cfg)
         : NativeEngine(rs, cfg, Options())
     {}

@@ -7,6 +7,7 @@
 
 #include "analysis/resolve.hh"
 #include "lang/parser.hh"
+#include "sim/compiler.hh"
 #include "sim/io.hh"
 #include "sim/native_engine.hh"
 #include "sim/symbolic.hh"
@@ -21,27 +22,30 @@ namespace asim {
 EngineRegistry &
 EngineRegistry::global()
 {
+    using SharedSpec = std::shared_ptr<const ResolvedSpec>;
     static EngineRegistry *reg = [] {
         auto *r = new EngineRegistry;
         r->add("interp",
                "slot-resolved table interpreter (ASIM analog)",
-               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+               [](const SharedSpec &rs, const EngineContext &ctx) {
                    return makeInterpreter(rs, ctx.config);
                });
         r->add("symbolic",
                "name-lookup symbolic interpreter (faithful ASIM "
                "baseline)",
-               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+               [](const SharedSpec &rs, const EngineContext &ctx) {
                    return makeSymbolicInterpreter(rs, ctx.config);
                });
         r->add("vm", "compiled bytecode VM (portable ASIM II analog)",
-               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+               [](const SharedSpec &rs, const EngineContext &ctx) {
+                   if (ctx.program)
+                       return makeVm(rs, ctx.config, ctx.program);
                    return makeVm(rs, ctx.config, ctx.compiler);
                });
         r->add("native",
                "generated C++ through the host compiler, run out of "
                "process (ASIM II pipeline)",
-               [](const ResolvedSpec &rs, const EngineContext &ctx) {
+               [](const SharedSpec &rs, const EngineContext &ctx) {
                    NativeEngine::Options no;
                    no.stdinText = ctx.stdinText;
                    no.ioEcho = ctx.ioEcho;
@@ -93,7 +97,8 @@ EngineRegistry::list() const
 }
 
 std::unique_ptr<Engine>
-EngineRegistry::make(std::string_view name, const ResolvedSpec &rs,
+EngineRegistry::make(std::string_view name,
+                     const std::shared_ptr<const ResolvedSpec> &rs,
                      const EngineContext &ctx) const
 {
     auto it = entries_.find(name);
@@ -214,12 +219,13 @@ Simulation::Simulation(const SimulationOptions &opts)
     EngineRegistry &reg = EngineRegistry::global();
     if (!reg.contains(engineName_)) {
         EngineContext dummy;
-        reg.make(engineName_, *rs_, dummy); // throws, naming engines
+        reg.make(engineName_, rs_, dummy); // throws, naming engines
     }
 
     EngineContext ctx;
     ctx.config = opts.config;
     ctx.compiler = opts.compiler;
+    ctx.program = opts.program;
     ctx.workDir = opts.workDir;
 
     std::ostream *out = opts.ioOut ? opts.ioOut : &std::cout;
@@ -267,11 +273,12 @@ Simulation::Simulation(const SimulationOptions &opts)
         ctx.config.trace = ownedTrace_.get();
     }
 
-    engine_ = reg.make(engineName_, *rs_, ctx);
+    engine_ = reg.make(engineName_, rs_, ctx);
 }
 
-std::vector<std::unique_ptr<Simulation>>
-Simulation::makeBatch(const SimulationOptions &opts, size_t count)
+SimulationOptions
+Simulation::shareBatchArtifacts(const SimulationOptions &opts,
+                                bool forceTracingPossible)
 {
     SimulationOptions shared = opts;
     if (!shared.resolved) {
@@ -280,6 +287,26 @@ Simulation::makeBatch(const SimulationOptions &opts, size_t count)
         shared.specFile.clear();
         shared.specText.clear();
     }
+    // Compile the vm bytecode once; every instance shares the
+    // immutable program. Trace checks are kept whenever any trace
+    // wiring exists (or the caller promises to attach a sink
+    // later), so shared bytecode behaves identically to
+    // per-instance compiles.
+    if (shared.engine == "vm" && !shared.program) {
+        bool tracingPossible = forceTracingPossible ||
+                               shared.config.trace != nullptr ||
+                               shared.traceStream != nullptr;
+        shared.program = std::make_shared<const Program>(
+            compileProgram(*shared.resolved, shared.compiler,
+                           tracingPossible));
+    }
+    return shared;
+}
+
+std::vector<std::unique_ptr<Simulation>>
+Simulation::makeBatch(const SimulationOptions &opts, size_t count)
+{
+    SimulationOptions shared = shareBatchArtifacts(opts);
     std::vector<std::unique_ptr<Simulation>> sims;
     sims.reserve(count);
     for (size_t i = 0; i < count; ++i)

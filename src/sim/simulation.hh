@@ -47,6 +47,13 @@ struct EngineContext
     EngineConfig config;
     CompilerOptions compiler;
 
+    /** Pre-compiled bytecode for the "vm" engine; when set, the
+     *  factory shares it instead of compiling. Must come from the
+     *  same resolved spec with trace checks kept whenever
+     *  config.trace may be set (batch construction compiles once and
+     *  shares the immutable program across every instance). */
+    std::shared_ptr<const Program> program;
+
     /** Scripted stdin for out-of-process engines; in-process engines
      *  receive their inputs through config.io instead. */
     std::string stdinText;
@@ -63,8 +70,12 @@ struct EngineContext
 class EngineRegistry
 {
   public:
+    /** Factories receive the spec as a shared immutable pointer so
+     *  engines reference (never copy) one resolve — the invariant
+     *  batch construction and parallel execution rely on. */
     using Factory = std::function<std::unique_ptr<Engine>(
-        const ResolvedSpec &, const EngineContext &)>;
+        const std::shared_ptr<const ResolvedSpec> &,
+        const EngineContext &)>;
 
     /** The process-wide registry, pre-populated with the built-in
      *  engines named in the file comment. */
@@ -91,9 +102,10 @@ class EngineRegistry
 
     /** Construct an engine by name. @throws SimError naming the
      *  registered engines when `name` is unknown */
-    std::unique_ptr<Engine> make(std::string_view name,
-                                 const ResolvedSpec &rs,
-                                 const EngineContext &ctx) const;
+    std::unique_ptr<Engine>
+    make(std::string_view name,
+         const std::shared_ptr<const ResolvedSpec> &rs,
+         const EngineContext &ctx) const;
 
   private:
     struct Entry
@@ -146,6 +158,12 @@ struct SimulationOptions
      *  shared flags onto its code generator. */
     CompilerOptions compiler;
 
+    /** Pre-compiled shared bytecode for the "vm" engine (see
+     *  EngineContext::program). makeBatch() fills this in
+     *  automatically; set it by hand only with bytecode compiled
+     *  from the same `resolved` spec and compatible options. */
+    std::shared_ptr<const Program> program;
+
     /// @{ I/O wiring (used when config.io is null)
     IoMode ioMode = IoMode::Null;
     std::vector<int32_t> scriptInputs;
@@ -183,10 +201,22 @@ class Simulation
     static std::vector<int32_t> loadScript(const std::string &path);
 
     /** Construct `count` independent instances that share a single
-     *  parse+resolve (throughput workloads). Each instance gets its
-     *  own engine and, in Script mode, its own input queue. */
+     *  parse+resolve — and, for the "vm" engine, a single compiled
+     *  program (throughput workloads; see sim/batch.hh for the
+     *  parallel driver). Each instance gets its own engine and, in
+     *  Script mode, its own input queue. */
     static std::vector<std::unique_ptr<Simulation>>
     makeBatch(const SimulationOptions &opts, size_t count);
+
+    /** The sharing half of makeBatch(): return a copy of `opts` with
+     *  the spec resolved once and (for "vm") the bytecode compiled
+     *  once, ready to construct any number of instances. Pass
+     *  `forceTracingPossible` when a trace sink will be attached
+     *  only later (BatchRunner's per-instance capture), so the
+     *  shared bytecode keeps its trace checks. */
+    static SimulationOptions
+    shareBatchArtifacts(const SimulationOptions &opts,
+                        bool forceTracingPossible = false);
 
     const std::string &engineName() const { return engineName_; }
     Engine &engine() { return *engine_; }

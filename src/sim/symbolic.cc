@@ -4,15 +4,15 @@
 
 namespace asim {
 
-SymbolicInterpreter::SymbolicInterpreter(const ResolvedSpec &rs,
-                                         const EngineConfig &cfg)
-    : Engine(rs, cfg)
+SymbolicInterpreter::SymbolicInterpreter(
+    std::shared_ptr<const ResolvedSpec> rs, const EngineConfig &cfg)
+    : Engine(std::move(rs), cfg)
 {
-    for (const auto &cc : rs_.comb) {
-        combOrder_.emplace_back(&rs_.spec.comps[cc.declIndex], -1);
+    for (const auto &cc : rs_->comb) {
+        combOrder_.emplace_back(&rs_->spec.comps[cc.declIndex], -1);
     }
-    for (const auto &m : rs_.mems)
-        memOrder_.emplace_back(&rs_.spec.comps[m.declIndex], m.index);
+    for (const auto &m : rs_->mems)
+        memOrder_.emplace_back(&rs_->spec.comps[m.declIndex], m.index);
 }
 
 int32_t
@@ -20,11 +20,11 @@ SymbolicInterpreter::lookup(const std::string &name) const
 {
     // The defining characteristic of the ASIM baseline: a symbol-table
     // lookup per reference, every cycle.
-    auto vit = rs_.varSlots.find(name);
-    if (vit != rs_.varSlots.end())
+    auto vit = rs_->varSlots.find(name);
+    if (vit != rs_->varSlots.end())
         return state_.vars[vit->second];
-    auto mit = rs_.memIndexes.find(name);
-    if (mit != rs_.memIndexes.end())
+    auto mit = rs_->memIndexes.find(name);
+    if (mit != rs_->memIndexes.end())
         return state_.mems[mit->second].temp;
     throw SimError("Error. Component <" + name + "> not found.");
 }
@@ -77,7 +77,7 @@ SymbolicInterpreter::eval(const Expr &e) const
 void
 SymbolicInterpreter::evalComponent(const Component &c)
 {
-    int slot = rs_.varSlot(c.name);
+    int slot = rs_->varSlot(c.name);
     if (c.kind == CompKind::Alu) {
         int32_t f = eval(c.funct);
         int32_t l = eval(c.left);
@@ -172,7 +172,15 @@ SymbolicInterpreter::step()
 std::unique_ptr<Engine>
 makeSymbolicInterpreter(const ResolvedSpec &rs, const EngineConfig &cfg)
 {
-    return std::make_unique<SymbolicInterpreter>(rs, cfg);
+    return makeSymbolicInterpreter(
+        std::make_shared<const ResolvedSpec>(rs), cfg);
+}
+
+std::unique_ptr<Engine>
+makeSymbolicInterpreter(std::shared_ptr<const ResolvedSpec> rs,
+                        const EngineConfig &cfg)
+{
+    return std::make_unique<SymbolicInterpreter>(std::move(rs), cfg);
 }
 
 } // namespace asim

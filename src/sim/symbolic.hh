@@ -26,7 +26,8 @@ namespace asim {
 class SymbolicInterpreter : public Engine
 {
   public:
-    SymbolicInterpreter(const ResolvedSpec &rs, const EngineConfig &cfg);
+    SymbolicInterpreter(std::shared_ptr<const ResolvedSpec> rs,
+                        const EngineConfig &cfg);
 
     void step() override;
 
@@ -45,6 +46,9 @@ class SymbolicInterpreter : public Engine
 /** Build the symbolic interpreter (the ASIM row of Figure 5.1). */
 std::unique_ptr<Engine>
 makeSymbolicInterpreter(const ResolvedSpec &rs,
+                        const EngineConfig &cfg = {});
+std::unique_ptr<Engine>
+makeSymbolicInterpreter(std::shared_ptr<const ResolvedSpec> rs,
                         const EngineConfig &cfg = {});
 
 } // namespace asim

@@ -5,12 +5,18 @@
 
 namespace asim {
 
-Vm::Vm(const ResolvedSpec &rs, const EngineConfig &cfg,
-       const CompilerOptions &opts)
-    : Engine(rs, cfg),
-      // Compile from the engine's own copy (rs_), never the caller's
-      // argument, which may be a temporary.
-      prog_(compileProgram(rs_, opts, cfg.trace != nullptr))
+Vm::Vm(std::shared_ptr<const ResolvedSpec> rs,
+       const EngineConfig &cfg, const CompilerOptions &opts)
+    : Engine(std::move(rs), cfg),
+      // Compile from the engine's shared spec (rs_), never the
+      // caller's argument, which may have been moved from.
+      prog_(std::make_shared<const Program>(
+          compileProgram(*rs_, opts, cfg.trace != nullptr)))
+{}
+
+Vm::Vm(std::shared_ptr<const ResolvedSpec> rs,
+       const EngineConfig &cfg, std::shared_ptr<const Program> program)
+    : Engine(std::move(rs), cfg), prog_(std::move(program))
 {}
 
 void
@@ -18,7 +24,7 @@ Vm::checkAddr(const MemoryState &ms, uint16_t idx) const
 {
     if (ms.adr < 0 ||
         ms.adr >= static_cast<int32_t>(ms.cells.size())) {
-        throw SimError("memory " + prog_.memInfos[idx].name +
+        throw SimError("memory " + prog_->memInfos[idx].name +
                        " address " + std::to_string(ms.adr) +
                        " outside 0.." +
                        std::to_string(ms.cells.size() - 1) + " (cycle " +
@@ -29,7 +35,7 @@ Vm::checkAddr(const MemoryState &ms, uint16_t idx) const
 void
 Vm::selFail(const Instr &in) const
 {
-    const SelInfo &si = prog_.selInfos[in.c];
+    const SelInfo &si = prog_->selInfos[in.c];
     throw SimError("selector " + si.name + " index " +
                    std::to_string(s_[0]) + " outside its " +
                    std::to_string(si.caseCount) + " cases (cycle " +
@@ -43,13 +49,13 @@ Vm::memTrace(const MemoryState &ms, const Instr &in) const
     // the instruction, which implies a sink was configured.
     if (in.reg & kMemFlagTraceW) {
         if (land(ms.opn, 5) == 5) {
-            cfg_.trace->memWrite(prog_.memInfos[in.idx].name, ms.adr,
+            cfg_.trace->memWrite(prog_->memInfos[in.idx].name, ms.adr,
                                  ms.temp);
         }
     }
     if (in.reg & kMemFlagTraceR) {
         if (land(ms.opn, 9) == 8) {
-            cfg_.trace->memRead(prog_.memInfos[in.idx].name, ms.adr,
+            cfg_.trace->memRead(prog_->memInfos[in.idx].name, ms.adr,
                                 ms.temp);
         }
     }
@@ -190,7 +196,7 @@ Vm::exec(const std::vector<Instr> &code)
                 selFail(in);
             }
             bumpSel();
-            ip = base + prog_.jumpTable[in.a + s_[0]];
+            ip = base + prog_->jumpTable[in.a + s_[0]];
             break;
           case Op::Jump:
             ip = base + in.a;
@@ -201,7 +207,7 @@ Vm::exec(const std::vector<Instr> &code)
                 selFail(in);
             }
             bumpSel();
-            vars[in.idx] = prog_.constTable[in.a + s_[0]];
+            vars[in.idx] = prog_->constTable[in.a + s_[0]];
             ++ip;
             break;
 
@@ -337,10 +343,10 @@ Vm::exec(const std::vector<Instr> &code)
 void
 Vm::step()
 {
-    exec(prog_.comb);
+    exec(prog_->comb);
     traceCycle();
-    exec(prog_.latch);
-    exec(prog_.update);
+    exec(prog_->latch);
+    exec(prog_->update);
     ++cycle_;
     if (cfg_.collectStats)
         ++stats_.cycles;
@@ -350,7 +356,23 @@ std::unique_ptr<Engine>
 makeVm(const ResolvedSpec &rs, const EngineConfig &cfg,
        const CompilerOptions &opts)
 {
-    return std::make_unique<Vm>(rs, cfg, opts);
+    return makeVm(std::make_shared<const ResolvedSpec>(rs), cfg,
+                  opts);
+}
+
+std::unique_ptr<Engine>
+makeVm(std::shared_ptr<const ResolvedSpec> rs, const EngineConfig &cfg,
+       const CompilerOptions &opts)
+{
+    return std::make_unique<Vm>(std::move(rs), cfg, opts);
+}
+
+std::unique_ptr<Engine>
+makeVm(std::shared_ptr<const ResolvedSpec> rs, const EngineConfig &cfg,
+       std::shared_ptr<const Program> program)
+{
+    return std::make_unique<Vm>(std::move(rs), cfg,
+                                std::move(program));
 }
 
 } // namespace asim

@@ -11,17 +11,34 @@
 
 namespace asim {
 
-/** The compiled-execution engine. Construct via makeVm(). */
+/** The compiled-execution engine. Construct via makeVm(). The
+ *  program, like the resolved spec, is immutable and may be shared
+ *  by any number of concurrently running instances. */
 class Vm : public Engine
 {
   public:
-    Vm(const ResolvedSpec &rs, const EngineConfig &cfg,
+    Vm(std::shared_ptr<const ResolvedSpec> rs, const EngineConfig &cfg,
        const CompilerOptions &opts);
+    Vm(const ResolvedSpec &rs, const EngineConfig &cfg = {},
+       const CompilerOptions &opts = {})
+        : Vm(std::make_shared<const ResolvedSpec>(rs), cfg, opts)
+    {}
+
+    /** Adopt a pre-compiled shared program (batch construction). */
+    Vm(std::shared_ptr<const ResolvedSpec> rs, const EngineConfig &cfg,
+       std::shared_ptr<const Program> program);
 
     void step() override;
 
     /** The compiled program (for inspection and tests). */
-    const Program &program() const { return prog_; }
+    const Program &program() const { return *prog_; }
+
+    /** The shared immutable program this VM executes. */
+    const std::shared_ptr<const Program> &
+    programShared() const
+    {
+        return prog_;
+    }
 
   private:
     void exec(const std::vector<Instr> &code);
@@ -49,7 +66,8 @@ class Vm : public Engine
             ++stats_.selEvals;
     }
 
-    Program prog_;
+    /** Immutable, potentially cross-thread-shared; never written. */
+    std::shared_ptr<const Program> prog_;
     int32_t s_[4] = {0, 0, 0, 0};
 };
 

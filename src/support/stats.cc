@@ -19,4 +19,63 @@ SimStats::summary() const
     return os.str();
 }
 
+void
+RunStats::addTask(const SimStats &s, double seconds, bool faulted)
+{
+    ++tasks;
+    if (faulted)
+        ++faults;
+    cycles += s.cycles;
+    aluEvals += s.aluEvals;
+    selEvals += s.selEvals;
+    for (const auto &m : s.mems)
+        memAccesses += m.total();
+    busySeconds += seconds;
+}
+
+void
+RunStats::merge(const RunStats &other)
+{
+    tasks += other.tasks;
+    faults += other.faults;
+    cycles += other.cycles;
+    aluEvals += other.aluEvals;
+    selEvals += other.selEvals;
+    memAccesses += other.memAccesses;
+    busySeconds += other.busySeconds;
+    wallSeconds += other.wallSeconds;
+}
+
+double
+RunStats::cyclesPerSecond() const
+{
+    return wallSeconds > 0 ? static_cast<double>(cycles) / wallSeconds
+                           : 0.0;
+}
+
+double
+RunStats::speedup() const
+{
+    return wallSeconds > 0 ? busySeconds / wallSeconds : 0.0;
+}
+
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << "tasks: " << tasks;
+    if (faults)
+        os << " (" << faults << " faulted)";
+    os << "\n";
+    os << "total cycles: " << cycles << "\n";
+    os << "alu evaluations: " << aluEvals << "\n";
+    os << "selector evaluations: " << selEvals << "\n";
+    os << "memory accesses: " << memAccesses << "\n";
+    if (wallSeconds > 0) {
+        os << "wall seconds: " << wallSeconds << "\n";
+        os << "aggregate cycles/sec: " << cyclesPerSecond() << "\n";
+    }
+    return os.str();
+}
+
 } // namespace asim

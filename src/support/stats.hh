@@ -50,6 +50,42 @@ struct SimStats
     std::string summary() const;
 };
 
+/**
+ * Aggregated counters for a *batch* of runs (one task = one complete
+ * simulation run). Each task folds its SimStats and wall time in with
+ * addTask(); whole batches combine with merge(). Aggregation is pure
+ * arithmetic, so folding per-task records in index order yields the
+ * same totals under any thread count — the determinism the batch
+ * subsystem (sim/batch.hh) promises.
+ */
+struct RunStats
+{
+    uint64_t tasks = 0;       ///< runs folded in
+    uint64_t faults = 0;      ///< runs that ended in a SimError
+    uint64_t cycles = 0;      ///< simulated cycles, all runs
+    uint64_t aluEvals = 0;
+    uint64_t selEvals = 0;
+    uint64_t memAccesses = 0; ///< reads+writes+inputs+outputs
+    double busySeconds = 0;   ///< sum of per-task wall time
+    double wallSeconds = 0;   ///< whole-batch wall clock (driver-set)
+
+    /** Fold one finished task in. */
+    void addTask(const SimStats &s, double seconds,
+                 bool faulted = false);
+
+    /** Fold another aggregate in. */
+    void merge(const RunStats &other);
+
+    /** Aggregate throughput: cycles / wallSeconds (0 when unset). */
+    double cyclesPerSecond() const;
+
+    /** Parallel speedup estimate: busySeconds / wallSeconds. */
+    double speedup() const;
+
+    /** Render a human-readable summary. */
+    std::string summary() const;
+};
+
 } // namespace asim
 
 #endif // ASIM_SUPPORT_STATS_HH

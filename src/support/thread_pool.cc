@@ -1,0 +1,145 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace asim {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? hardwareThreads() : threads)
+{
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown with nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        try {
+            task();
+        } catch (...) {
+            // post() offers no failure channel; parallelFor captures
+            // exceptions itself before they reach this backstop.
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        idle_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    const size_t count = end - begin;
+
+    if (threads_ <= 1 || count == 1) {
+        // Inline, in index order — with the same every-index-settles,
+        // lowest-index-error-wins semantics as the parallel path, so
+        // behavior never depends on the thread count.
+        std::exception_ptr first;
+        for (size_t i = begin; i < end; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    // One claim-next-index task per participant: work-stealing by
+    // atomic counter keeps long and short indices balanced without
+    // prescribing which thread runs which index. Each index is
+    // claimed by exactly one participant, so each errors slot has a
+    // single writer; drain() sequences the slots before the read
+    // loop below.
+    auto next = std::make_shared<std::atomic<size_t>>(begin);
+    auto errors = std::make_shared<std::vector<std::exception_ptr>>(
+        count, nullptr);
+
+    auto chew = [next, errors, &fn, begin, end]() {
+        for (;;) {
+            size_t i = next->fetch_add(1);
+            if (i >= end)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                (*errors)[i - begin] = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned helpers =
+        static_cast<unsigned>(std::min<size_t>(threads_, count) - 1);
+    for (unsigned t = 0; t < helpers; ++t)
+        post(chew);
+    chew(); // the calling thread participates
+    drain();
+
+    for (const auto &e : *errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace asim

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -118,6 +120,66 @@ TEST(Cli, AsimRunRejectsMissingScript)
                       counterSpec());
     EXPECT_NE(r.status, 0);
     EXPECT_NE(r.out.find("cannot read"), std::string::npos) << r.out;
+}
+
+TEST(Cli, AsimRunBatchHomogeneous)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --batch=3 --threads=2 --stats " +
+                      std::string(ASIM_SPECS_DIR) + "/gcd.asim");
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("3 instances, 2 threads"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("gcd.asim#2"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("total cycles: 123"), std::string::npos)
+        << r.out; // 3 x 41 inclusive iterations
+}
+
+TEST(Cli, AsimRunBatchManifestWithJson)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --batch-manifest=" +
+                      std::string(ASIM_SPECS_DIR) +
+                      "/batch.manifest --json=-");
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("\"faults\": 0"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("multiplier.asim"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("\"watchpoint_hit\": true"),
+              std::string::npos)
+        << r.out; // the gcd watch=a:21 line
+}
+
+TEST(Cli, AsimRunBatchRefusesNative)
+{
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --batch=2 --engine=native " + counterSpec());
+    EXPECT_NE(r.status, 0);
+    EXPECT_NE(r.out.find("out of process"), std::string::npos)
+        << r.out;
+}
+
+TEST(Cli, AsimRunBatchExitsTwoOnFault)
+{
+    // gcd.asim run on 5 cycles with a watch that can never hit is
+    // fine; instead drive a faulting spec through the batch path.
+    std::string spec = "/tmp/asim_cli_batch_fault.asim";
+    {
+        std::ofstream f(spec);
+        f << "# walks off a 4-cell memory\n"
+             "count* next .\n"
+             "A next 4 count 1\n"
+             "M count 0 next 1 1\n"
+             "M mem count count 1 4\n"
+             ".\n";
+    }
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --batch=2 --cycles=20 " + spec);
+    EXPECT_EQ(WEXITSTATUS(r.status), 2) << r.out;
+    EXPECT_NE(r.out.find("FAULT"), std::string::npos) << r.out;
+    std::remove(spec.c_str());
 }
 
 TEST(Cli, AsimRunListsEngines)

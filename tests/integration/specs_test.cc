@@ -94,11 +94,34 @@ TEST(SpecFiles, DualCounterModulesFromDisk)
     EXPECT_EQ(e->value("slow"), 21 & 31);
 }
 
+TEST(SpecFiles, GcdConvergesFromDisk)
+{
+    ResolvedSpec rs = resolve(parseSpecFile(specPath("gcd.asim")));
+    auto e = makeVm(rs);
+    e->run(rs.spec.thesisIterations());
+    EXPECT_EQ(e->value("a"), 21); // gcd(1071, 462)
+    EXPECT_EQ(e->value("b"), 21);
+    // Converged: one more cycle changes nothing.
+    e->step();
+    EXPECT_EQ(e->value("a"), 21);
+}
+
+TEST(SpecFiles, MultiplierShiftAddFromDisk)
+{
+    ResolvedSpec rs =
+        resolve(parseSpecFile(specPath("multiplier.asim")));
+    auto e = makeVm(rs);
+    e->run(rs.spec.thesisIterations());
+    EXPECT_EQ(e->value("acc"), 143); // 13 * 11
+    EXPECT_EQ(e->value("mplier"), 0);
+}
+
 TEST(SpecFiles, AllSpecsRunOnAllEngines)
 {
     for (const char *name : {"counter.asim", "traffic_light.asim",
                              "fig43_memory.asim", "echo.asim",
-                             "dual_counter.asim"}) {
+                             "dual_counter.asim", "gcd.asim",
+                             "multiplier.asim"}) {
         ResolvedSpec rs = resolve(parseSpecFile(specPath(name)));
         for (int engine = 0; engine < 2; ++engine) {
             VectorIo io;

@@ -1,0 +1,471 @@
+/** @file
+ * Tests of the BatchRunner subsystem: shared immutable artifacts
+ * (one resolve, one vm program) across a batch, per-instance I/O
+ * scripts and watchpoints, fault isolation, manifest loading, the
+ * out-of-process refusal — and the headline determinism property:
+ * batch results are byte-identical across thread counts for both
+ * in-process engine families.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "machines/counter.hh"
+#include "machines/tiny_computer.hh"
+#include "sim/batch.hh"
+#include "sim/vm.hh"
+#include "support/thread_pool.hh"
+
+#ifndef ASIM_SPECS_DIR
+#define ASIM_SPECS_DIR "specs"
+#endif
+
+namespace asim {
+namespace {
+
+std::string
+specPath(const std::string &name)
+{
+    return std::string(ASIM_SPECS_DIR) + "/" + name;
+}
+
+/** Integer-echo machine (same shape as specs/echo.asim). */
+const char *kEchoSpec = "# integer echo\n"
+                        "= 4\n"
+                        "in out .\n"
+                        "M in 1 0 2 1\n"
+                        "M out 1 in 3 1\n"
+                        ".\n";
+
+/** A machine that faults at cycle 11: a counter addressing a 10-cell
+ *  memory with its own value. */
+const char *kFaultSpec = "# walks off the end of mem at cycle 11\n"
+                         "count* next .\n"
+                         "A next 4 count 1\n"
+                         "M count 0 next 1 1\n"
+                         "M mem count count 1 10\n"
+                         ".\n";
+
+TEST(BatchRunnerTest, HomogeneousBatchSharesResolveAndProgram)
+{
+    BatchJob job;
+    job.options.specFile = specPath("gcd.asim");
+    BatchRunner runner;
+    runner.addBatch(job, 4);
+    EXPECT_EQ(runner.jobCount(), 4u);
+
+    BatchResult result = runner.run();
+    ASSERT_EQ(result.instances.size(), 4u);
+    for (const auto &r : result.instances) {
+        EXPECT_FALSE(r.faulted) << r.fault;
+        EXPECT_EQ(r.cyclesRun, 41u); // `= 40` is inclusive
+    }
+    // gcd(1071, 462) = 21 in every instance's final state.
+    const ResolvedSpec rs =
+        Simulation::loadSpec([&] {
+            SimulationOptions o;
+            o.specFile = specPath("gcd.asim");
+            return o;
+        }());
+    int aSlot = rs.memIndex("a");
+    ASSERT_GE(aSlot, 0);
+    for (const auto &r : result.instances)
+        EXPECT_EQ(r.state.mems[aSlot].temp, 21);
+}
+
+TEST(BatchRunnerTest, VmInstancesShareOneCompiledProgram)
+{
+    SimulationOptions opts;
+    opts.specText = counterSpec(6, 100);
+    auto sims = Simulation::makeBatch(opts, 3);
+    ASSERT_EQ(sims.size(), 3u);
+
+    const auto *first = dynamic_cast<const Vm *>(&sims[0]->engine());
+    ASSERT_NE(first, nullptr);
+    for (auto &sim : sims) {
+        EXPECT_EQ(&sim->resolved(), &sims[0]->resolved());
+        const auto *vm = dynamic_cast<const Vm *>(&sim->engine());
+        ASSERT_NE(vm, nullptr);
+        EXPECT_EQ(vm->programShared().get(),
+                  first->programShared().get())
+            << "batch must share one compiled program";
+    }
+}
+
+TEST(BatchRunnerTest, SharedProgramKeepsTraceChecksForCaptureTrace)
+{
+    // fig43_memory traces memory reads and writes; the shared vm
+    // program of a homogeneous batch must keep those trace checks
+    // when captureTrace attaches its sink only at run time.
+    BatchJob job;
+    job.options.specFile = specPath("fig43_memory.asim");
+    job.captureTrace = true;
+
+    BatchRunner viaJob;
+    viaJob.addJob(job);
+    std::string single = viaJob.run().instances[0].traceText;
+    ASSERT_NE(single.find("Write to memory at"), std::string::npos)
+        << single;
+    ASSERT_NE(single.find("Read from memory at"), std::string::npos);
+
+    BatchRunner viaBatch;
+    viaBatch.addBatch(job, 3);
+    BatchResult result = viaBatch.run();
+    for (const auto &r : result.instances)
+        EXPECT_EQ(r.traceText, single) << r.index;
+}
+
+TEST(BatchRunnerTest, RefusesOutOfProcessEngines)
+{
+    BatchJob job;
+    job.options.specText = counterSpec(4, 10);
+    job.options.engine = "native";
+    BatchRunner runner;
+    try {
+        runner.addJob(job);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("native"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("out of process"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("quadratic"), std::string::npos) << msg;
+    }
+    EXPECT_EQ(runner.jobCount(), 0u);
+}
+
+TEST(BatchRunnerTest, RefusesInteractiveIo)
+{
+    BatchJob job;
+    job.options.specText = kEchoSpec;
+    job.options.ioMode = IoMode::Interactive;
+    BatchRunner runner;
+    EXPECT_THROW(runner.addJob(job), SimError);
+}
+
+TEST(BatchRunnerTest, PerInstanceIoScripts)
+{
+    BatchRunner runner;
+    for (int i = 0; i < 3; ++i) {
+        BatchJob job;
+        job.options.specText = kEchoSpec;
+        job.options.ioMode = IoMode::Script;
+        for (int k = 0; k < 5; ++k)
+            job.options.scriptInputs.push_back(100 * i + k);
+        job.label = "echo" + std::to_string(i);
+        runner.addJob(std::move(job));
+    }
+    BatchResult result = runner.run();
+    ASSERT_EQ(result.instances.size(), 3u);
+    EXPECT_EQ(result.instances[0].ioText, "0\n1\n2\n3\n4\n");
+    EXPECT_EQ(result.instances[1].ioText,
+              "100\n101\n102\n103\n104\n");
+    EXPECT_EQ(result.instances[2].ioText,
+              "200\n201\n202\n203\n204\n");
+}
+
+TEST(BatchRunnerTest, WatchpointStopsEarly)
+{
+    BatchJob job;
+    job.options.specFile = specPath("gcd.asim");
+    job.watchName = "a";
+    job.watchValue = 21;
+    BatchRunner runner;
+    runner.addJob(job);
+    BatchResult result = runner.run();
+    const InstanceResult &r = result.instances[0];
+    EXPECT_TRUE(r.watchpointHit);
+    EXPECT_LT(r.cyclesRun, r.cyclesRequested);
+    EXPECT_FALSE(r.faulted);
+}
+
+TEST(BatchRunnerTest, FaultIsolatedToItsInstance)
+{
+    BatchRunner runner;
+    BatchJob ok;
+    ok.options.specText = counterSpec(4, 100);
+    ok.cycles = 50;
+    runner.addJob(ok);
+
+    BatchJob bad;
+    bad.options.specText = kFaultSpec;
+    bad.cycles = 50;
+    runner.addJob(bad);
+
+    BatchResult result = runner.run();
+    EXPECT_FALSE(result.allOk());
+    EXPECT_FALSE(result.instances[0].faulted);
+    EXPECT_EQ(result.instances[0].cyclesRun, 50u);
+    EXPECT_TRUE(result.instances[1].faulted);
+    EXPECT_NE(result.instances[1].fault.find("mem"),
+              std::string::npos)
+        << result.instances[1].fault;
+    EXPECT_LT(result.instances[1].cyclesRun, 50u);
+    EXPECT_EQ(result.aggregate.faults, 1u);
+    EXPECT_NE(result.summaryTable().find("FAULT"),
+              std::string::npos);
+}
+
+TEST(BatchRunnerTest, MissingCycleBudgetThrows)
+{
+    BatchJob job;
+    job.options.specText = "# no cycle count\n"
+                           "count* next .\n"
+                           "A next 4 count 1\n"
+                           "M count 0 next 1 1\n"
+                           ".\n";
+    BatchRunner runner;
+    runner.addJob(job);
+    EXPECT_THROW(runner.run(), SimError);
+}
+
+TEST(BatchRunnerTest, AggregateMatchesInstanceSums)
+{
+    BatchJob job;
+    job.options.specFile = specPath("multiplier.asim");
+    BatchRunner runner;
+    runner.addBatch(job, 5);
+    BatchResult result = runner.run();
+
+    uint64_t cycles = 0, alu = 0;
+    for (const auto &r : result.instances) {
+        cycles += r.stats.cycles;
+        alu += r.stats.aluEvals;
+    }
+    EXPECT_EQ(result.aggregate.tasks, 5u);
+    EXPECT_EQ(result.aggregate.cycles, cycles);
+    EXPECT_EQ(result.aggregate.aluEvals, alu);
+    EXPECT_GT(result.aggregate.cycles, 0u);
+}
+
+TEST(BatchRunnerTest, JsonReportIsShapedAndEscaped)
+{
+    BatchJob job;
+    job.options.specText = kEchoSpec;
+    job.options.ioMode = IoMode::Script;
+    job.options.scriptInputs = {1, 2, 3, 4, 5};
+    BatchRunner runner;
+    runner.addJob(job);
+    BatchResult result = runner.run();
+    std::string json = result.json();
+    EXPECT_NE(json.find("\"instances\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"cycles_per_second\""), std::string::npos);
+    // Newlines in captured I/O must be escaped, never literal.
+    EXPECT_NE(json.find("1\\n2\\n3\\n4\\n5\\n"), std::string::npos)
+        << json;
+}
+
+// ---------------------------------------------------------------------
+// Manifest loading
+// ---------------------------------------------------------------------
+
+class ManifestTest : public ::testing::Test
+{
+  protected:
+    /** Per-test file name: CTest runs sibling tests concurrently. */
+    std::string
+    manifestPath() const
+    {
+        const auto *info = ::testing::UnitTest::GetInstance()
+                               ->current_test_info();
+        return std::string("/tmp/asim_batch_manifest_") +
+               info->name() + ".txt";
+    }
+
+    std::string
+    writeManifest(const std::string &text)
+    {
+        std::string path = manifestPath();
+        std::ofstream f(path);
+        f << text;
+        return path;
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(manifestPath().c_str());
+    }
+};
+
+TEST_F(ManifestTest, LoadsJobsWithAllKeys)
+{
+    std::string specs = ASIM_SPECS_DIR;
+    std::string path = writeManifest(
+        "# a comment line\n"
+        "\n" +
+        specs + "/counter.asim count=2  # trailing comment\n" +
+        specs + "/gcd.asim watch=a:21 engine=interp\n" +
+        specs + "/echo.asim io=" + specs + "/echo.io cycles=5\n");
+
+    BatchRunner runner;
+    SimulationOptions defaults;
+    EXPECT_EQ(runner.loadManifest(path, defaults), 4u);
+    EXPECT_EQ(runner.jobCount(), 4u);
+
+    BatchResult result = runner.run();
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.instances[2].engine, "interp");
+    EXPECT_TRUE(result.instances[2].watchpointHit);
+    EXPECT_EQ(result.instances[3].ioText, "10\n20\n30\n40\n50\n");
+}
+
+TEST_F(ManifestTest, DefaultCyclesAppliesToLinesWithoutKey)
+{
+    std::string specs = ASIM_SPECS_DIR;
+    std::string path = writeManifest(specs + "/counter.asim\n" +
+                                     specs +
+                                     "/counter.asim cycles=3\n");
+    BatchRunner runner;
+    runner.loadManifest(path, SimulationOptions{},
+                        /*defaultCycles=*/7);
+    BatchResult result = runner.run();
+    // Like the CLI's --cycles: the default overrides the spec's `=`
+    // count but never an explicit cycles= key.
+    EXPECT_EQ(result.instances[0].cyclesRun, 7u);
+    EXPECT_EQ(result.instances[1].cyclesRun, 3u);
+}
+
+TEST_F(ManifestTest, RelativePathsResolveAgainstManifestDir)
+{
+    // The manifest lives in specs/: bare file names must work.
+    BatchRunner runner;
+    SimulationOptions defaults;
+    size_t n = runner.loadManifest(specPath("batch.manifest"),
+                                   defaults);
+    EXPECT_GE(n, 5u);
+    BatchResult result = runner.run();
+    EXPECT_TRUE(result.allOk());
+}
+
+TEST_F(ManifestTest, MalformedLinesThrowWithLineNumbers)
+{
+    for (const char *line :
+         {"counter.asim cycles=0\n", "counter.asim count=0\n",
+          "counter.asim watch=nocolon\n", "counter.asim froz=1\n",
+          "counter.asim cycles\n"}) {
+        std::string path = writeManifest(line);
+        BatchRunner runner;
+        try {
+            runner.loadManifest(path, SimulationOptions{});
+            FAIL() << "expected SimError for: " << line;
+        } catch (const SimError &e) {
+            EXPECT_NE(std::string(e.what()).find(":1:"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    EXPECT_THROW(BatchRunner().loadManifest("/nope/nothing.txt",
+                                            SimulationOptions{}),
+                 SimError);
+}
+
+// ---------------------------------------------------------------------
+// The headline property: byte-identical results across thread counts.
+// ---------------------------------------------------------------------
+
+class BatchDeterminism : public ::testing::TestWithParam<const char *>
+{};
+
+/** Everything observable about a batch, rendered to one comparable
+ *  string (stats summaries included — they fold in every counter). */
+std::string
+fingerprint(const BatchResult &result)
+{
+    std::ostringstream os;
+    for (const auto &r : result.instances) {
+        os << r.index << "|" << r.label << "|" << r.engine << "|"
+           << r.cyclesRequested << "|" << r.cyclesRun << "|"
+           << r.watchpointHit << "|" << r.faulted << "|" << r.fault
+           << "|" << r.ioText << "|" << r.traceText << "|"
+           << r.stats.summary() << "#";
+        os << r.state.vars.size() << ":";
+        for (int32_t v : r.state.vars)
+            os << v << ",";
+        for (const auto &m : r.state.mems) {
+            os << m.temp << ";" << m.adr << ";" << m.opn << ";";
+            for (int32_t c : m.cells)
+                os << c << ",";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+/** A diverse workload: homogeneous shards, on-disk specs with
+ *  watchpoints, scripted echo instances, and one faulting machine. */
+void
+buildWorkload(BatchRunner &runner, const char *engine)
+{
+    BatchJob shard;
+    shard.options.specText = counterSpec(6, 100);
+    shard.options.engine = engine;
+    shard.cycles = 64;
+    shard.captureTrace = true;
+    shard.label = "counter";
+    runner.addBatch(shard, 3);
+
+    BatchJob gcd;
+    gcd.options.specFile = specPath("gcd.asim");
+    gcd.options.engine = engine;
+    gcd.watchName = "a";
+    gcd.watchValue = 21;
+    runner.addJob(gcd);
+
+    BatchJob mult;
+    mult.options.specFile = specPath("multiplier.asim");
+    mult.options.engine = engine;
+    mult.captureTrace = true;
+    runner.addJob(mult);
+
+    for (int i = 0; i < 2; ++i) {
+        BatchJob echo;
+        echo.options.specText = kEchoSpec;
+        echo.options.engine = engine;
+        echo.options.ioMode = IoMode::Script;
+        for (int k = 0; k < 5; ++k)
+            echo.options.scriptInputs.push_back(10 * i + k);
+        echo.label = "echo" + std::to_string(i);
+        runner.addJob(std::move(echo));
+    }
+
+    BatchJob fault;
+    fault.options.specText = kFaultSpec;
+    fault.options.engine = engine;
+    fault.cycles = 50;
+    fault.label = "faulty";
+    runner.addJob(fault);
+}
+
+TEST_P(BatchDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    const char *engine = GetParam();
+    std::string reference;
+    unsigned counts[] = {1u, 2u, ThreadPool::hardwareThreads()};
+    for (unsigned threads : counts) {
+        BatchOptions bopts;
+        bopts.threads = threads;
+        BatchRunner runner(bopts);
+        buildWorkload(runner, engine);
+        BatchResult result = runner.run();
+        EXPECT_EQ(result.threads, threads);
+        std::string fp = fingerprint(result);
+        if (reference.empty())
+            reference = fp;
+        else
+            EXPECT_EQ(fp, reference)
+                << engine << " diverged at " << threads
+                << " threads";
+    }
+    EXPECT_NE(reference.find("faulty"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BatchDeterminism,
+                         ::testing::Values("interp", "vm",
+                                           "symbolic"));
+
+} // namespace
+} // namespace asim

@@ -3,9 +3,11 @@
  * the bytecode VM (ASIM II analog) must produce identical traces,
  * identical I/O, and identical final state on randomly generated
  * specifications — the library's strongest correctness guarantee.
- * All engines are constructed by name through the Simulation facade
- * (the native pipeline has its own leg in native_equivalence_test.cc,
- * gated on a host compiler).
+ * All engine runs are constructed as BatchRunner jobs (one per
+ * engine or flag combination) sharing a single resolve, so the
+ * harness doubles as a parallel-execution soak of the batch
+ * subsystem (the native pipeline has its own leg in
+ * native_equivalence_test.cc, gated on a host compiler).
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +20,7 @@
 #include "machines/stack_machine.hh"
 #include "machines/synthetic.hh"
 #include "machines/tiny_computer.hh"
+#include "sim/batch.hh"
 #include "sim/io.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
@@ -33,66 +36,72 @@ share(ResolvedSpec rs)
     return std::make_shared<const ResolvedSpec>(std::move(rs));
 }
 
-struct RunResult
+/** One engine/flag variant to run against the shared spec. */
+struct Variant
 {
-    std::string trace;
-    std::string ioText;
-    MachineState state;
-    uint64_t aluEvals;
-    bool faulted = false;
-    std::string fault;
+    std::string engine;
+    CompilerOptions compiler;
+    std::string label;
 };
 
-RunResult
-runEngine(const std::string &engine, const SharedSpec &rs,
-          uint64_t cycles, const std::vector<int32_t> &inputs,
-          const CompilerOptions &copts = {})
+/**
+ * Run every variant as one BatchRunner job off the shared resolve —
+ * all instances concurrently — and return the per-variant results in
+ * variant order. Each job owns its VectorIo (inputs are mirrored into
+ * every instance) and captures its trace per-instance.
+ */
+std::vector<InstanceResult>
+runVariants(const std::vector<Variant> &variants, const SharedSpec &rs,
+            uint64_t cycles, const std::vector<int32_t> &inputs)
 {
-    std::ostringstream os;
-    StreamTrace trace(os);
-    VectorIo io;
-    for (int32_t v : inputs)
-        io.pushInput(v);
-
-    SimulationOptions opts;
-    opts.resolved = rs;
-    opts.engine = engine;
-    opts.compiler = copts;
-    opts.config.trace = &trace;
-    opts.config.io = &io;
-    Simulation sim(opts);
-
-    RunResult r;
-    try {
-        sim.run(cycles);
-    } catch (const SimError &err) {
-        r.faulted = true;
-        r.fault = err.what();
+    std::vector<std::unique_ptr<VectorIo>> ios;
+    BatchRunner runner;
+    for (const Variant &v : variants) {
+        auto io = std::make_unique<VectorIo>();
+        for (int32_t value : inputs)
+            io->pushInput(value);
+        BatchJob job;
+        job.options.resolved = rs;
+        job.options.engine = v.engine;
+        job.options.compiler = v.compiler;
+        job.options.config.io = io.get();
+        job.cycles = cycles;
+        job.captureTrace = true;
+        job.label = v.label.empty() ? v.engine : v.label;
+        runner.addJob(std::move(job));
+        ios.push_back(std::move(io));
     }
-    r.trace = os.str();
-    r.ioText = io.text();
-    r.state = sim.engine().state();
-    r.aluEvals = sim.stats().aluEvals;
-    return r;
+
+    BatchResult batch = runner.run();
+    std::vector<InstanceResult> results =
+        std::move(batch.instances);
+    // VectorIo keeps the canonical thesis-format rendering.
+    for (size_t i = 0; i < results.size(); ++i)
+        results[i].ioText = ios[i]->text();
+    return results;
 }
 
 void
 expectEquivalent(const SharedSpec &rs, uint64_t cycles,
                  const std::vector<int32_t> &inputs = {})
 {
-    RunResult a = runEngine("interp", rs, cycles, inputs);
-    for (const char *engine : {"vm", "symbolic"}) {
-        RunResult b = runEngine(engine, rs, cycles, inputs);
-        EXPECT_EQ(a.faulted, b.faulted) << engine;
+    auto results = runVariants({{"interp", {}, ""},
+                                {"vm", {}, ""},
+                                {"symbolic", {}, ""}},
+                               rs, cycles, inputs);
+    const InstanceResult &a = results[0];
+    for (size_t i = 1; i < results.size(); ++i) {
+        const InstanceResult &b = results[i];
+        EXPECT_EQ(a.faulted, b.faulted) << b.engine;
         if (a.faulted) {
             // Same diagnostic, modulo nothing: both name the
             // component.
-            EXPECT_EQ(a.fault, b.fault) << engine;
+            EXPECT_EQ(a.fault, b.fault) << b.engine;
         }
-        EXPECT_EQ(a.trace, b.trace) << engine;
-        EXPECT_EQ(a.ioText, b.ioText) << engine;
+        EXPECT_EQ(a.traceText, b.traceText) << b.engine;
+        EXPECT_EQ(a.ioText, b.ioText) << b.engine;
         EXPECT_TRUE(a.state == b.state)
-            << "final state differs: " << engine;
+            << "final state differs: " << b.engine;
     }
 }
 
@@ -157,19 +166,24 @@ TEST_P(OptEquivalence, AllFlagCombos)
     for (int i = 0; i < 128; ++i)
         inputs.push_back(i * 37 % 1000);
 
-    auto runWith = [&](const CompilerOptions &copts) {
-        RunResult r = runEngine("vm", rs, 100, inputs, copts);
-        return r.trace + "|" + r.ioText;
-    };
-
-    std::string reference = runWith(CompilerOptions{});
+    // All 16 flag combinations plus the reference run as one batch.
+    std::vector<Variant> variants{{"vm", {}, "reference"}};
     for (int m = 0; m < 16; ++m) {
         CompilerOptions copts;
         copts.inlineConstAlu = m & 1;
         copts.specializeConstMem = m & 2;
         copts.constSelectorTables = m & 4;
         copts.elideUnusedTemps = m & 8;
-        EXPECT_EQ(runWith(copts), reference) << "flags " << m;
+        variants.push_back(
+            {"vm", copts, "flags" + std::to_string(m)});
+    }
+    auto results = runVariants(variants, rs, 100, inputs);
+    std::string reference =
+        results[0].traceText + "|" + results[0].ioText;
+    for (size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].traceText + "|" + results[i].ioText,
+                  reference)
+            << results[i].label;
     }
 }
 

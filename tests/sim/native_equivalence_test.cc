@@ -44,6 +44,8 @@ const SpecCase kCases[] = {
     {"dual_counter.asim", ""},
     // echo consumes one integer per cycle: 5 inclusive iterations.
     {"echo.asim", "10\n20\n30\n40\n50\n"},
+    {"gcd.asim", ""},
+    {"multiplier.asim", ""},
 };
 
 struct RunResult

@@ -68,13 +68,14 @@ TEST(EngineRegistryTest, UnknownEngineNamesAlternatives)
 
 TEST(EngineRegistryTest, DuplicateRegistrationThrows)
 {
-    EXPECT_THROW(EngineRegistry::global().add(
-                     "vm", "impostor",
-                     [](const ResolvedSpec &, const EngineContext &)
-                         -> std::unique_ptr<Engine> {
-                         return nullptr;
-                     }),
-                 SimError);
+    EXPECT_THROW(
+        EngineRegistry::global().add(
+            "vm", "impostor",
+            [](const std::shared_ptr<const ResolvedSpec> &,
+               const EngineContext &) -> std::unique_ptr<Engine> {
+                return nullptr;
+            }),
+        SimError);
 }
 
 TEST(SimulationTest, RunsFromSpecText)

@@ -1,0 +1,166 @@
+/** @file
+ * Tests of the support-layer thread pool (work queue, parallelFor,
+ * deterministic exception surfacing) and RunStats aggregation — the
+ * substrate the batch subsystem's determinism guarantee stands on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
+
+namespace asim {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, SizeDefaultsToHardware)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+    ThreadPool four(4);
+    EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPoolTest, PostRunsTasksAndDrainWaits)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i)
+        pool.post([&done] { ++done; });
+    pool.drain();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(100);
+        pool.parallelFor(0, 100,
+                         [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " threads " << threads;
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesOffsetAndEmptyRanges)
+{
+    ThreadPool pool(2);
+    std::set<size_t> seen;
+    std::mutex m;
+    pool.parallelFor(10, 20, [&](size_t i) {
+        std::lock_guard<std::mutex> lock(m);
+        seen.insert(i);
+    });
+    EXPECT_EQ(seen.size(), 10u);
+    EXPECT_EQ(*seen.begin(), 10u);
+    EXPECT_EQ(*seen.rbegin(), 19u);
+
+    pool.parallelFor(5, 5, [&](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestFailingIndex)
+{
+    // Indices 7 and 3 both throw; the surfaced exception must be
+    // index 3's under every thread count (deterministic errors).
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        std::atomic<int> ran{0};
+        try {
+            pool.parallelFor(0, 10, [&](size_t i) {
+                ++ran;
+                if (i == 3 || i == 7)
+                    throw std::runtime_error(
+                        "boom " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 3");
+        }
+        // A failing index never cancels the rest of the range.
+        EXPECT_EQ(ran.load(), 10);
+    }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork)
+{
+    ThreadPool pool(8);
+    std::atomic<int> sum{0};
+    pool.parallelFor(0, 3, [&](size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(RunStatsTest, AddTaskAccumulatesAllCounters)
+{
+    SimStats s;
+    s.cycles = 100;
+    s.aluEvals = 40;
+    s.selEvals = 7;
+    s.mems.push_back({"m", 1, 2, 3, 4});
+
+    RunStats agg;
+    agg.addTask(s, 0.5);
+    agg.addTask(s, 0.25, /*faulted=*/true);
+
+    EXPECT_EQ(agg.tasks, 2u);
+    EXPECT_EQ(agg.faults, 1u);
+    EXPECT_EQ(agg.cycles, 200u);
+    EXPECT_EQ(agg.aluEvals, 80u);
+    EXPECT_EQ(agg.selEvals, 14u);
+    EXPECT_EQ(agg.memAccesses, 20u);
+    EXPECT_DOUBLE_EQ(agg.busySeconds, 0.75);
+}
+
+TEST(RunStatsTest, MergeAndThroughput)
+{
+    RunStats a, b;
+    SimStats s;
+    s.cycles = 1000;
+    a.addTask(s, 1.0);
+    b.addTask(s, 3.0);
+    b.wallSeconds = 2.0;
+
+    a.merge(b);
+    EXPECT_EQ(a.tasks, 2u);
+    EXPECT_EQ(a.cycles, 2000u);
+    EXPECT_DOUBLE_EQ(a.busySeconds, 4.0);
+    EXPECT_DOUBLE_EQ(a.wallSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(a.cyclesPerSecond(), 1000.0);
+    EXPECT_DOUBLE_EQ(a.speedup(), 2.0);
+
+    RunStats zero;
+    EXPECT_DOUBLE_EQ(zero.cyclesPerSecond(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.speedup(), 0.0);
+}
+
+TEST(RunStatsTest, SummaryMentionsTotalsAndFaults)
+{
+    RunStats agg;
+    SimStats s;
+    s.cycles = 42;
+    agg.addTask(s, 0.1, true);
+    agg.wallSeconds = 0.1;
+    std::string text = agg.summary();
+    EXPECT_NE(text.find("tasks: 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("1 faulted"), std::string::npos) << text;
+    EXPECT_NE(text.find("total cycles: 42"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("aggregate cycles/sec"), std::string::npos)
+        << text;
+}
+
+} // namespace
+} // namespace asim
