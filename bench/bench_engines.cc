@@ -2,9 +2,12 @@
  * @file
  * Engine throughput across the three example machines: cycles/second
  * for the interpreter (ASIM baseline) vs the bytecode VM (ASIM II
- * analog), all constructed by name through the Simulation facade.
- * The Figure 5.1 interpreted-vs-compiled gap should be visible on
- * every machine, growing with specification size.
+ * analog) vs the native --serve subprocess (ASIM II proper), all
+ * constructed by name through the Simulation facade. The Figure 5.1
+ * interpreted-vs-compiled gap should be visible on every machine,
+ * growing with specification size; BM_NativeStep pins the per-cycle
+ * stepping rate over the persistent protocol (the quadratic-replay
+ * regression guard, bench-visible form).
  */
 
 #include <benchmark/benchmark.h>
@@ -15,6 +18,7 @@
 #include "machines/counter.hh"
 #include "machines/stack_machine.hh"
 #include "machines/tiny_computer.hh"
+#include "sim/native_engine.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
 
@@ -88,9 +92,46 @@ BM_Vm(benchmark::State &state)
     runEngine(state, "vm");
 }
 
+void
+BM_Native(benchmark::State &state)
+{
+    if (!NativeEngine::available()) {
+        state.SkipWithError("no host compiler");
+        return;
+    }
+    runEngine(state, "native");
+}
+
+/** Interactive stepping over the persistent --serve child: one pipe
+ *  round trip per cycle. Pre-protocol this was quadratic (a process
+ *  spawn plus a full replay per step); the rate here is the
+ *  regression guard's bench-visible form. */
+void
+BM_NativeStep(benchmark::State &state)
+{
+    if (!NativeEngine::available()) {
+        state.SkipWithError("no host compiler");
+        return;
+    }
+    SimulationOptions opts;
+    opts.resolved = machine(0);
+    opts.engine = "native";
+    opts.config.collectStats = false;
+    Simulation sim(opts);
+    for (auto _ : state) {
+        sim.step();
+        if (sim.cycle() > (1u << 20))
+            sim.reset();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.SetLabel("counter, per-cycle step()");
+}
+
 BENCHMARK(BM_SymbolicInterpreter)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_Interpreter)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_Vm)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Native)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_NativeStep);
 
 /** Tracing cost: the sieve machine with a trace sink swallowing
  *  events (isolates formatting from simulation). */

@@ -9,6 +9,9 @@
  *   --no-trace           generate without trace statements
  *   --no-optimize        disable constant inlining/specialization
  *   --fixed-shl          repaired shift-left semantics
+ *   --serve              C++ only: also emit the persistent `--serve`
+ *                        command loop + state dump (the protocol the
+ *                        NativeEngine adapter drives; DESIGN.md §5)
  */
 
 #include <fstream>
@@ -41,10 +44,14 @@ main(int argc, char **argv)
             opts.specializeConstMem = false;
         } else if (arg == "--fixed-shl") {
             opts.aluSemantics = AluSemantics::Fixed;
+        } else if (arg == "--serve") {
+            opts.emitServeLoop = true;
+            opts.emitStateDump = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cerr << "usage: asim2c [--lang=pascal|cpp] [-o file]\n"
                       << "              [--no-trace] [--no-optimize]\n"
-                      << "              [--fixed-shl] <spec-file>\n";
+                      << "              [--fixed-shl] [--serve]\n"
+                      << "              <spec-file>\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option " << arg << "\n";
@@ -59,6 +66,10 @@ main(int argc, char **argv)
     }
     if (lang != "pascal" && lang != "cpp") {
         std::cerr << "unknown language " << lang << "\n";
+        return 1;
+    }
+    if (opts.emitServeLoop && lang != "cpp") {
+        std::cerr << "--serve is C++ only (--lang=cpp)\n";
         return 1;
     }
     if (outPath.empty())

@@ -40,13 +40,24 @@ struct CodegenOptions
      *  latch exactly as Appendix E does (it is never read). */
     bool emitDataLatchQuirk = true;
 
-    /** C++ only: after the simulation loop, print a machine-readable
-     *  dump of the final machine state on stderr (`STATE_V <slot>
-     *  <value>`, `STATE_M <index> <temp> <adr> <opn>`, `STATE_C
-     *  <index> <cell> <value>`, terminated by `STATE_END`). The
-     *  native engine adapter parses it to reconstruct MachineState
-     *  across the process boundary. */
+    /** C++ only: emit a machine-readable dump of the machine state
+     *  (`STATE_V <slot> <value>`, `STATE_M <index> <temp> <adr>
+     *  <opn>`, `STATE_C <index> <cell> <value>`, terminated by
+     *  `STATE_END`): on stderr after the one-shot simulation loop,
+     *  or as the `STATE` command's payload in serve mode. The native
+     *  engine adapter parses it to reconstruct MachineState across
+     *  the process boundary. */
     bool emitStateDump = false;
+
+    /** C++ only: emit the `--serve` persistent command loop. A
+     *  simulator built with this option, launched as
+     *  `simulator --serve`, reads line-oriented commands on stdin
+     *  (`INPUT <n>`, `RUN <n>`, `RESET`, `STATE`, `STATS`, `QUIT`)
+     *  and answers each with `OK <cycle> <ns> <bytes>\n` followed by
+     *  exactly <bytes> of payload on stdout — the framing the
+     *  NativeEngine adapter speaks (DESIGN.md §5). The one-shot
+     *  `simulator [cycles]` entry point is kept unchanged. */
+    bool emitServeLoop = false;
 
     /** ALU shift-left semantics baked into the generated dologic. */
     AluSemantics aluSemantics = AluSemantics::Thesis;

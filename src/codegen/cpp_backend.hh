@@ -5,10 +5,16 @@
  * Emits a standalone, dependency-free C++ translation unit with the
  * same structure as the thesis' generated Pascal (variables per
  * combinational output; temp/adr/opn latches and a cell array per
- * memory; land/dologic/sinput/soutput helpers; one flat simulation
- * loop). Output formats (trace lines, memory-mapped I/O) match the
- * library engines byte-for-byte so the three execution systems can be
- * compared directly.
+ * memory; land/dologic/sinput/soutput helpers; the per-cycle body in
+ * one flat docycle() function). Output formats (trace lines,
+ * memory-mapped I/O) match the library engines byte-for-byte so the
+ * three execution systems can be compared directly.
+ *
+ * With CodegenOptions::emitServeLoop the unit additionally carries
+ * the persistent `--serve` command loop (INPUT/RUN/RESET/STATE/
+ * STATS/QUIT with length-framed responses) that the NativeEngine
+ * adapter drives over pipes — see DESIGN.md §5. The one-shot
+ * `simulator [cycles]` entry point is unchanged either way.
  *
  * Compile the output with `g++ -O2 -fwrapv` — the library's value
  * model is wrapping 32-bit two's-complement arithmetic, and -fwrapv
@@ -33,17 +39,22 @@ class CppBackend
 
   private:
     std::string expr(const ResolvedExpr &e) const;
+    std::string pf() const;
     void emitHeader();
     void emitState();
+    void emitServeHelpers();
     void emitHelpers();
     void emitInitValues();
+    void emitResetState();
     void emitAlu(const CombComp &c);
     void emitSelector(const CombComp &c);
     void emitTraceLine();
     void emitMemoryLatches();
     void emitMemoryUpdate(const MemDesc &m);
     void emitMemoryTraces(const MemDesc &m);
+    void emitDoCycle();
     void emitStateDump();
+    void emitServeLoop();
     void emitMain();
 
     const ResolvedSpec &rs_;

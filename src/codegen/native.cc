@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -65,16 +66,23 @@ compileSpec(const ResolvedSpec &rs, const CodegenOptions &opts,
     if (!hostCompilerAvailable())
         throw SimError("no host C++ compiler (g++) available");
 
+    bool madeTemp = false;
     if (workDir.empty()) {
         char tmpl[] = "/tmp/asim2-native-XXXXXX";
         char *dir = mkdtemp(tmpl);
         if (!dir)
             throw SimError("mkdtemp failed");
         workDir = dir;
+        madeTemp = true;
     }
 
     NativeBuild build;
     build.workDir = workDir;
+    build.ownsWorkDir = madeTemp;
+    build.emitsTrace = opts.emitTrace;
+    build.emitsStateDump = opts.emitStateDump;
+    build.serveCapable = opts.emitServeLoop;
+    build.aluSemantics = opts.aluSemantics;
     build.generatedPath = workDir + "/simulator.cc";
     build.binaryPath = workDir + "/simulator";
 
@@ -95,6 +103,22 @@ compileSpec(const ResolvedSpec &rs, const CodegenOptions &opts,
                        workDir + "/compile.log)");
     }
     return build;
+}
+
+std::shared_ptr<const NativeBuild>
+compileSpecShared(const ResolvedSpec &rs, const CodegenOptions &opts,
+                  std::string workDir)
+{
+    auto *build = new NativeBuild(
+        compileSpec(rs, opts, std::move(workDir)));
+    return std::shared_ptr<const NativeBuild>(
+        build, [](const NativeBuild *b) {
+            if (b->ownsWorkDir && !b->workDir.empty()) {
+                std::error_code ec;
+                std::filesystem::remove_all(b->workDir, ec);
+            }
+            delete b;
+        });
 }
 
 NativeRun

@@ -11,6 +11,7 @@
 #ifndef ASIM_CODEGEN_NATIVE_HH
 #define ASIM_CODEGEN_NATIVE_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -19,7 +20,9 @@
 namespace asim {
 
 /** A generated-and-compiled simulator on disk, reusable across runs
- *  (the expensive half of the pipeline, done once). */
+ *  (the expensive half of the pipeline, done once) — and, via
+ *  compileSpecShared(), shareable read-only across a whole batch of
+ *  engine instances that each talk to their own child process. */
 struct NativeBuild
 {
     double generateSeconds = 0; ///< spec -> C++ text
@@ -27,6 +30,17 @@ struct NativeBuild
     std::string workDir;        ///< artifact directory
     std::string generatedPath;  ///< the .cc file on disk
     std::string binaryPath;
+
+    /** True when compileSpec created workDir itself (fresh temp
+     *  dir); whoever owns the build removes it then. */
+    bool ownsWorkDir = false;
+
+    /// @{ Codegen facts an adapter must agree with at run time.
+    bool emitsTrace = false;     ///< CodegenOptions::emitTrace
+    bool emitsStateDump = false; ///< CodegenOptions::emitStateDump
+    bool serveCapable = false;   ///< CodegenOptions::emitServeLoop
+    AluSemantics aluSemantics = AluSemantics::Thesis; ///< baked in
+    /// @}
 };
 
 /** One execution of a built simulator (the cheap half). */
@@ -66,6 +80,17 @@ bool hostCompilerAvailable();
 NativeBuild compileSpec(const ResolvedSpec &rs,
                         const CodegenOptions &opts = {},
                         std::string workDir = "");
+
+/**
+ * compileSpec() wrapped for sharing: the returned pointer owns the
+ * artifacts — when the last holder drops it, a temp-created workDir
+ * is removed. A batch of NativeEngine instances holds one of these
+ * and spawns one `--serve` child each off the single compiled
+ * binary.
+ */
+std::shared_ptr<const NativeBuild>
+compileSpecShared(const ResolvedSpec &rs, const CodegenOptions &opts = {},
+                  std::string workDir = "");
 
 /**
  * Execute a built simulator for `cycles` (the program runs cycles+1

@@ -173,15 +173,6 @@ BatchRunner::BatchRunner(BatchOptions opts)
 size_t
 BatchRunner::addJob(BatchJob job)
 {
-    const std::string &engine = job.options.engine;
-    if (EngineRegistry::global().outOfProcess(engine)) {
-        throw SimError(
-            "engine <" + engine +
-            "> runs out of process and replays from cycle zero on "
-            "every run(n) (quadratic under cycle sharding; see "
-            "DESIGN.md); batch execution supports in-process engines "
-            "only");
-    }
     if (job.options.ioMode == IoMode::Interactive) {
         throw SimError("batch instances run concurrently; "
                        "interactive I/O is not supported — use null "
@@ -297,8 +288,25 @@ BatchRunner::run()
         r.ioText = w.io.str();
         r.traceText = w.trace.str();
         r.stats = w.sim->stats();
-        if (opts_.captureState)
-            r.state = w.sim->engine().state();
+        if (opts_.captureState) {
+            // state() is fallible for out-of-process engines (a lazy
+            // STATE fetch from a child that may have died since its
+            // run completed); a capture failure faults this instance,
+            // never the batch.
+            try {
+                r.state = w.sim->engine().state();
+            } catch (const SimError &e) {
+                if (!r.faulted) {
+                    r.faulted = true;
+                    r.fault = e.what();
+                }
+            }
+        }
+        // Everything observable is captured: release the instance
+        // now so per-instance resources (an out-of-process engine's
+        // child + pipes in particular) are bounded by the pool size,
+        // not the batch size.
+        w.sim.reset();
     });
     double wall = secondsSince(batchStart);
 

@@ -8,8 +8,9 @@
  * BatchRunner is that driver:
  *
  *  - a **homogeneous** batch (addBatch) shards N instances off one
- *    parse+resolve — and one compiled bytecode program for the "vm"
- *    engine (Simulation::shareBatchArtifacts);
+ *    parse+resolve — and one compiled artifact per engine family:
+ *    a shared bytecode program for "vm", a shared generated+compiled
+ *    binary for "native" (Simulation::shareBatchArtifacts);
  *  - a **heterogeneous** batch (addJob / loadManifest) mixes specs,
  *    engines, cycle budgets, per-instance input scripts, and
  *    watchpoints in one run;
@@ -20,13 +21,16 @@
  *    the property tests/sim/batch_test.cc enforces.
  *
  * What is shared between concurrently running instances is immutable
- * (ResolvedSpec, Program — see DESIGN.md §7); everything mutable
- * (MachineState, statistics, I/O devices, trace sinks, output
- * buffers) is per-instance. Out-of-process engines ("native") are
- * refused up front: NativeEngine::run(n) re-executes the generated
- * binary from cycle zero, so driving it cycle-sharded would turn a
- * linear workload quadratic (DESIGN.md §5) — and its subprocesses
- * would oversubscribe the pool's cores behind the scheduler's back.
+ * (ResolvedSpec, Program, NativeBuild — see DESIGN.md §7);
+ * everything mutable (MachineState, statistics, I/O devices, trace
+ * sinks, output buffers) is per-instance. The "native" engine is
+ * batch-eligible since the persistent --serve protocol (DESIGN.md
+ * §5): each instance owns one long-lived child process advanced
+ * incrementally, and live children are bounded by the *pool* size,
+ * not the batch size — children spawn lazily at the instance's
+ * first cycle and the runner releases each instance as soon as its
+ * results are captured. Interactive I/O remains refused —
+ * concurrent instances cannot multiplex one terminal.
  */
 
 #ifndef ASIM_SIM_BATCH_HH
@@ -125,16 +129,15 @@ class BatchRunner
 
     /**
      * Append one heterogeneous job. @return the job's instance index
-     * @throws SimError for an out-of-process engine (the "native"
-     *         pipeline re-executes from cycle zero per run(n) —
-     *         quadratic under cycle sharding; see file comment)
+     * @throws SimError for interactive I/O (see file comment)
      */
     size_t addJob(BatchJob job);
 
     /** Append `count` homogeneous instances sharing one resolve (and
-     *  one compiled program for "vm"). Per-instance fields of `job`
-     *  (cycles, watchpoint, label) apply to every instance; labels
-     *  get an `#i` suffix. @return index of the first instance */
+     *  one compiled program for "vm", one compiled binary for
+     *  "native"). Per-instance fields of `job` (cycles, watchpoint,
+     *  label) apply to every instance; labels get an `#i` suffix.
+     *  @return index of the first instance */
     size_t addBatch(BatchJob job, size_t count);
 
     /** Jobs added so far. */

@@ -37,6 +37,7 @@ Engine::run(uint64_t cycles)
 EngineSnapshot
 Engine::snapshot() const
 {
+    refreshState();
     EngineSnapshot snap;
     snap.state = state_;
     snap.cycle = cycle_;
@@ -45,7 +46,7 @@ Engine::snapshot() const
 }
 
 void
-Engine::restore(const EngineSnapshot &snap)
+Engine::checkSnapshotShape(const EngineSnapshot &snap) const
 {
     if (snap.state.vars.size() != state_.vars.size() ||
         snap.state.mems.size() != state_.mems.size()) {
@@ -60,6 +61,12 @@ Engine::restore(const EngineSnapshot &snap)
                            rs_->mems[i].name + "> size differs)");
         }
     }
+}
+
+void
+Engine::restore(const EngineSnapshot &snap)
+{
+    checkSnapshotShape(snap);
     state_ = snap.state;
     cycle_ = snap.cycle;
     stats_ = snap.stats;
@@ -82,6 +89,7 @@ Engine::traceCycle()
 int32_t
 Engine::value(std::string_view name) const
 {
+    refreshState();
     int vs = rs_->varSlot(name);
     if (vs >= 0)
         return state_.vars[vs];
@@ -94,6 +102,7 @@ Engine::value(std::string_view name) const
 int32_t
 Engine::memCell(std::string_view mem, int64_t addr) const
 {
+    refreshState();
     int mi = rs_->memIndex(mem);
     if (mi < 0)
         throw SimError("unknown memory <" + std::string(mem) + ">");

@@ -100,8 +100,16 @@ class Engine
     /** Cycles executed since the last reset. */
     uint64_t cycle() const { return cycle_; }
 
-    const MachineState &state() const { return state_; }
-    MachineState &state() { return state_; }
+    const MachineState &state() const
+    {
+        refreshState();
+        return state_;
+    }
+    MachineState &state()
+    {
+        refreshState();
+        return state_;
+    }
 
     const SimStats &stats() const { return stats_; }
 
@@ -122,6 +130,18 @@ class Engine
     int32_t memCell(std::string_view mem, int64_t addr) const;
 
   protected:
+    /** Hook for engines whose authoritative state lives elsewhere
+     *  (the native adapter's child process): called before every
+     *  read of state_ through the public accessors (state(),
+     *  value(), memCell(), snapshot()) so such engines can sync
+     *  state_ lazily instead of after every run(). In-process
+     *  engines keep state_ current and the default no-op. */
+    virtual void refreshState() const {}
+
+    /** Shape-check a snapshot against this engine's specification.
+     *  @throws SimError on var/memory count or size mismatch */
+    void checkSnapshotShape(const EngineSnapshot &snap) const;
+
     /** Emit the per-cycle trace line for the starred components. */
     void traceCycle();
 

@@ -1,13 +1,19 @@
 #include "sim/native_engine.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <ostream>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace asim {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /** First line of a diagnostic blob, for compact SimError messages. */
 std::string
@@ -15,6 +21,18 @@ firstLine(const std::string &text)
 {
     size_t nl = text.find('\n');
     return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+std::string
+describeWaitStatus(int status)
+{
+    if (status < 0)
+        return "not running";
+    if (WIFEXITED(status))
+        return "exit status " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "killed by signal " + std::to_string(WTERMSIG(status));
+    return "wait status " + std::to_string(status);
 }
 
 } // namespace
@@ -29,19 +47,141 @@ NativeEngine::NativeEngine(std::shared_ptr<const ResolvedSpec> rs,
             "program's stdio; script inputs instead of passing an "
             "IoDevice");
     }
-    opts_.codegen.aluSemantics = cfg.aluSemantics;
-    opts_.codegen.emitTrace = cfg.trace != nullptr;
-    opts_.codegen.emitStateDump = true;
-    ownWorkDir_ = opts_.workDir.empty();
-    build_ = compileSpec(*rs_, opts_.codegen, opts_.workDir);
+    if (opts_.prebuilt) {
+        build_ = opts_.prebuilt;
+        if (!build_->serveCapable) {
+            throw SimError("shared native build was compiled without "
+                           "the --serve protocol loop");
+        }
+        if (!build_->emitsStateDump) {
+            throw SimError("shared native build was compiled without "
+                           "a state dump");
+        }
+        if (cfg.trace && !build_->emitsTrace) {
+            throw SimError("shared native build was compiled without "
+                           "trace output but a trace sink is "
+                           "configured");
+        }
+        if (build_->aluSemantics != cfg.aluSemantics) {
+            throw SimError("shared native build was compiled with "
+                           "different ALU semantics than this "
+                           "engine's configuration");
+        }
+    } else {
+        opts_.codegen.aluSemantics = cfg.aluSemantics;
+        opts_.codegen.emitTrace = cfg.trace != nullptr;
+        opts_.codegen.emitStateDump = true;
+        opts_.codegen.emitServeLoop = true;
+        build_ = compileSpecShared(*rs_, opts_.codegen, opts_.workDir);
+    }
+    // The child itself spawns lazily at the first command: a batch
+    // can construct any number of instances without holding one
+    // process + pipe pair per not-yet-running instance.
 }
 
 NativeEngine::~NativeEngine()
 {
-    if (ownWorkDir_ && !build_.workDir.empty()) {
-        std::error_code ec;
-        std::filesystem::remove_all(build_.workDir, ec);
+    if (child_.running())
+        child_.writeAll("QUIT\n"); // best effort; terminate() reaps
+    child_.terminate();
+    if (errSpool_)
+        std::fclose(errSpool_);
+}
+
+void
+NativeEngine::ensureChild()
+{
+    if (child_.running())
+        return;
+    if (down_) {
+        throw SimError("native simulator is not running (it failed "
+                       "after cycle " + std::to_string(cycle_) +
+                       "); call reset() to relaunch it");
     }
+    spawnChild();
+}
+
+void
+NativeEngine::spawnChild()
+{
+    if (!errSpool_) {
+        errSpool_ = std::tmpfile();
+        // Keep the spool out of sibling children (the dup2 onto the
+        // serve child's own stderr clears close-on-exec for it).
+        if (errSpool_)
+            fcntl(fileno(errSpool_), F_SETFD, FD_CLOEXEC);
+    } else {
+        std::rewind(errSpool_);
+        // Truncate the spool so diagnostics are per-incarnation.
+        if (ftruncate(fileno(errSpool_), 0) != 0) {
+            // Non-fatal: stale bytes only pollute a later diagnostic.
+        }
+    }
+    try {
+        child_.start({build_->binaryPath, "--serve"},
+                     errSpool_ ? fileno(errSpool_) : -1);
+    } catch (const std::exception &e) {
+        throw SimError(std::string("cannot launch native simulator: ") +
+                       e.what());
+    }
+    if (!opts_.stdinText.empty()) {
+        exchange("INPUT " + std::to_string(opts_.stdinText.size()) +
+                     "\n",
+                 opts_.stdinText);
+    }
+}
+
+NativeEngine::Reply
+NativeEngine::exchange(const std::string &cmd, std::string_view extra)
+{
+    std::string wire = cmd;
+    wire.append(extra);
+    if (!child_.writeAll(wire))
+        childFailed("broke the command pipe");
+
+    std::string header;
+    if (!child_.readLine(header))
+        childFailed("died mid-protocol");
+
+    char status[8] = {0};
+    unsigned long long cyc = 0, ns = 0, len = 0;
+    if (std::sscanf(header.c_str(), "%7s %llu %llu %llu", status, &cyc,
+                    &ns, &len) != 4)
+        childFailed("sent a corrupt protocol header <" + header + ">");
+
+    Reply r;
+    r.cycle = cyc;
+    r.simSeconds = static_cast<double>(ns) / 1e9;
+    if (!child_.readExact(r.payload, static_cast<size_t>(len)))
+        childFailed("died mid-payload");
+
+    if (std::strcmp(status, "OK") != 0) {
+        throw SimError("native simulator refused <" +
+                       firstLine(cmd) + ">: " + firstLine(r.payload));
+    }
+    return r;
+}
+
+void
+NativeEngine::childFailed(const std::string &what)
+{
+    down_ = true;
+    int status = child_.terminate();
+    std::string diag;
+    if (errSpool_) {
+        std::rewind(errSpool_);
+        char buf[4096];
+        size_t n = std::fread(buf, 1, sizeof buf, errSpool_);
+        diag.assign(buf, n);
+    }
+    std::string msg = "native simulator " + what + " (" +
+                      describeWaitStatus(status) +
+                      "); engine remains at confirmed cycle " +
+                      std::to_string(cycle_) +
+                      " — reset() relaunches it";
+    if (!diag.empty())
+        msg += ": " + firstLine(diag);
+    throw SimError(msg);
 }
 
 void
@@ -51,7 +191,20 @@ NativeEngine::reset()
     allOut_.clear();
     ioText_.clear();
     midLine_ = false;
-    lastRun_ = {};
+    lastRunSeconds_ = 0;
+    lastSimSeconds_ = 0;
+    stateDirty_ = false;
+    if (child_.running()) {
+        try {
+            exchange("RESET\n");
+            return;
+        } catch (const SimError &) {
+            // Child died mid-RESET; relaunch lazily below.
+        }
+    }
+    // No child (never spawned, crashed, or died mid-RESET): a fresh
+    // one spawns at the next command.
+    down_ = false;
 }
 
 void
@@ -59,43 +212,77 @@ NativeEngine::run(uint64_t cycles)
 {
     if (cycles == 0)
         return;
-    advanceTo(cycle_ + cycles);
-}
-
-void
-NativeEngine::restore(const EngineSnapshot &)
-{
-    throw SimError("the native engine cannot restore snapshots: the "
-                   "generated simulator's state lives out of process");
-}
-
-void
-NativeEngine::advanceTo(uint64_t target)
-{
-    // The program executes cycles+1 loop iterations for argument
-    // `cycles` (thesis semantics), so `target` cycles = target-1.
-    NativeRun r = runBinary(build_, static_cast<int64_t>(target) - 1,
-                            opts_.stdinText);
-    if (r.exitCode != 0) {
-        throw SimError("native simulator exited with status " +
-                       std::to_string(r.exitCode) + ": " +
-                       firstLine(r.stderrText));
+    ensureChild();
+    auto t0 = Clock::now();
+    Reply r = exchange("RUN " + std::to_string(cycles) + "\n");
+    lastRunSeconds_ =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    lastSimSeconds_ = r.simSeconds;
+    if (r.cycle != cycle_ + cycles) {
+        down_ = true;
+        child_.terminate();
+        throw SimError("native simulator desynchronized (confirmed "
+                       "cycle " + std::to_string(r.cycle) +
+                       ", expected " +
+                       std::to_string(cycle_ + cycles) + ")");
     }
-    if (r.stdoutText.size() < allOut_.size() ||
-        r.stdoutText.compare(0, allOut_.size(), allOut_) != 0) {
-        throw SimError("native replay diverged from the previous run "
-                       "(non-deterministic specification?)");
-    }
-    std::string fresh = r.stdoutText.substr(allOut_.size());
-    allOut_ = std::move(r.stdoutText);
-    ingest(fresh);
-    parseStateDump(r.stderrText);
+    ingest(r.payload);
+    allOut_.append(r.payload);
     if (cfg_.collectStats)
-        stats_.cycles += target - cycle_;
-    cycle_ = target;
-    lastRun_.runSeconds = r.runSeconds;
-    lastRun_.simSeconds = r.simSeconds;
-    lastRun_.exitCode = r.exitCode;
+        stats_.cycles += cycles;
+    cycle_ += cycles;
+    stateDirty_ = true;
+}
+
+void
+NativeEngine::refreshState() const
+{
+    if (!stateDirty_)
+        return;
+    if (!child_.running()) {
+        // The state for the confirmed cycle was never fetched and
+        // the child is gone: serving the older mirror here would
+        // silently pair cycle() with a state from an earlier cycle
+        // (and a snapshot() of that pair would restore cleanly into
+        // other engines). Refuse instead.
+        throw SimError("native simulator died before the state for "
+                       "cycle " + std::to_string(cycle_) +
+                       " was fetched; call reset() to relaunch it");
+    }
+    auto *self = const_cast<NativeEngine *>(this);
+    Reply r = self->exchange("STATE\n");
+    self->parseStateDump(r.payload);
+    stateDirty_ = false;
+}
+
+void
+NativeEngine::restore(const EngineSnapshot &snap)
+{
+    checkSnapshotShape(snap);
+    // Restore-by-replay: the generated program is deterministic and
+    // RESET rewinds the scripted input, so re-running to the
+    // snapshot's cycle reproduces the state a same-spec, same-input
+    // engine had there. Trace sinks and the echo stream are muted
+    // while replaying; the verification below catches snapshots that
+    // came from a different input script or machine history.
+    reset();
+    if (snap.cycle > 0) {
+        replaying_ = true;
+        try {
+            run(snap.cycle);
+        } catch (...) {
+            replaying_ = false;
+            throw;
+        }
+        replaying_ = false;
+    }
+    refreshState();
+    if (!(state_ == snap.state)) {
+        throw SimError("native restore-by-replay diverged from the "
+                       "snapshot: it was taken under a different "
+                       "input script or specification history");
+    }
+    stats_ = snap.stats;
 }
 
 void
@@ -103,9 +290,15 @@ NativeEngine::ingest(std::string_view fresh)
 {
     auto emitIo = [&](std::string_view piece) {
         ioText_.append(piece);
-        if (opts_.ioEcho)
+        if (opts_.ioEcho && !replaying_)
             *opts_.ioEcho << piece;
     };
+    // Trace-shaped lines exist in the payload only when the binary
+    // was built with trace output; they are replayed into the sink
+    // when one is configured and dropped otherwise (a shared batch
+    // build may trace for siblings that capture it).
+    const bool traced = build_->emitsTrace;
+    TraceSink *sink = replaying_ ? nullptr : cfg_.trace;
 
     size_t pos = 0;
     if (midLine_) {
@@ -125,15 +318,17 @@ NativeEngine::ingest(std::string_view fresh)
         std::string_view line = fresh.substr(pos, end - pos);
         pos = terminated ? nl + 1 : fresh.size();
 
-        if (terminated && cfg_.trace &&
-            line.rfind("Cycle ", 0) == 0) {
-            replayTraceLine(line);
-        } else if (terminated && cfg_.trace &&
+        if (terminated && traced && line.rfind("Cycle ", 0) == 0) {
+            if (sink)
+                replayTraceLine(line);
+        } else if (terminated && traced &&
                    line.rfind("Write to ", 0) == 0) {
-            replayMemLine(line, true);
-        } else if (terminated && cfg_.trace &&
+            if (sink)
+                replayMemLine(line, true);
+        } else if (terminated && traced &&
                    line.rfind("Read from ", 0) == 0) {
-            replayMemLine(line, false);
+            if (sink)
+                replayMemLine(line, false);
         } else {
             // Memory-mapped output or a prompt (only a prompt can be
             // unterminated: every other print ends with a newline).
@@ -190,16 +385,16 @@ NativeEngine::replayMemLine(std::string_view lv, bool write)
 }
 
 void
-NativeEngine::parseStateDump(const std::string &err)
+NativeEngine::parseStateDump(const std::string &dump)
 {
     bool complete = false;
     size_t pos = 0;
     auto bad = [&]() {
         return SimError("corrupt native state dump: " +
-                        firstLine(err.substr(pos)));
+                        firstLine(dump.substr(pos)));
     };
-    while (pos < err.size()) {
-        const char *line = err.c_str() + pos;
+    while (pos < dump.size()) {
+        const char *line = dump.c_str() + pos;
         char *end = nullptr;
         if (std::strncmp(line, "STATE_V ", 8) == 0) {
             long slot = std::strtol(line + 8, &end, 10);
@@ -231,12 +426,12 @@ NativeEngine::parseStateDump(const std::string &err)
         } else if (std::strncmp(line, "STATE_END", 9) == 0) {
             complete = true;
         }
-        size_t nl = err.find('\n', pos);
-        pos = nl == std::string::npos ? err.size() : nl + 1;
+        size_t nl = dump.find('\n', pos);
+        pos = nl == std::string::npos ? dump.size() : nl + 1;
     }
     if (!complete) {
         throw SimError("native simulator produced no state dump "
-                       "(stderr: " + firstLine(err) + ")");
+                       "(payload: " + firstLine(dump) + ")");
     }
 }
 

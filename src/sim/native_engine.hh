@@ -5,27 +5,40 @@
  * subclass, registered as "native" in the EngineRegistry so all three
  * of the paper's execution systems are interchangeable by name.
  *
- * The generated simulator runs out of process, which draws a sharp
- * boundary the adapter honors as follows (see DESIGN.md):
+ * The generated simulator runs out of process as a **persistent
+ * child** speaking the `--serve` command protocol (DESIGN.md §5):
+ * the binary is compiled once (or adopted pre-compiled from a batch,
+ * Options::prebuilt), spawned lazily at the first command, and then
+ * driven incrementally —
+ * `run(n)` is one `RUN n` round trip advancing the child in place,
+ * so stepping to cycle n costs O(n) total, not the O(n²) of the old
+ * replay-from-zero adapter. The process boundary rules:
  *
- *  - cycles: run(n) re-executes the deterministic program from cycle
- *    zero to the new target and consumes only the fresh suffix of its
- *    output, so repeated step() is quadratic — batch with run(n);
- *  - trace: the program's "Cycle"/"Write to"/"Read from" stdout lines
- *    are parsed and replayed into the configured TraceSink, in order;
- *  - I/O: inputs are scripted text piped to the program's stdin
- *    (Options::stdinText); non-trace output lines accumulate in
- *    output() and are echoed to Options::ioEcho as they arrive.
- *    EngineConfig::io must be null — a callback device cannot cross
- *    the process boundary;
- *  - state: the program dumps its final machine state on stderr
- *    (CodegenOptions::emitStateDump), which the adapter parses back
- *    into MachineState, so value()/memCell()/state() and equivalence
- *    checks against the in-process engines all work;
- *  - faults: a nonzero exit becomes a SimError carrying the
- *    program's diagnostic; the engine stays at its pre-run cycle;
- *  - snapshot() works; restore() throws (the process cannot adopt
- *    external state);
+ *  - cycles: `RUN n` executes exactly n §3 cycles in the child and
+ *    returns the output produced by those cycles as a framed
+ *    payload; reset() is a `RESET` command (no respawn);
+ *  - trace: the payload's "Cycle"/"Write to"/"Read from" lines are
+ *    parsed and replayed into the configured TraceSink, in order;
+ *  - I/O: inputs are scripted text (Options::stdinText) shipped to
+ *    the child once per spawn via `INPUT` (RESET rewinds them);
+ *    non-trace payload lines accumulate in output() and are echoed
+ *    to Options::ioEcho as they arrive. EngineConfig::io must be
+ *    null — a callback device cannot cross the process boundary;
+ *  - state: fetched lazily. run() only marks state stale; the first
+ *    observer (value(), memCell(), state(), snapshot()) issues a
+ *    `STATE` command and parses the dump back into MachineState, so
+ *    per-cycle stepping does not pay a state transfer per step;
+ *  - faults & crashes: a child that exits, is killed, or breaks the
+ *    pipe mid-protocol surfaces as SimError; the engine stays at its
+ *    last confirmed cycle and keeps serving the state it had fetched
+ *    for it — but if the confirmed cycle's state was never fetched,
+ *    state accessors throw rather than pair cycle() with an older
+ *    mirror. A fresh reset() respawns the child and recovers;
+ *  - restore() replays: RESET + RUN to the snapshot's cycle (same
+ *    deterministic program, same scripted input prefix), then
+ *    verifies the replayed state equals the snapshot — so snapshots
+ *    taken from any engine over the same spec and inputs restore
+ *    here, at O(snapshot cycle) cost;
  *  - stats() counts cycles only; ALU/selector/memory counters do not
  *    cross the boundary.
  */
@@ -33,12 +46,14 @@
 #ifndef ASIM_SIM_NATIVE_ENGINE_HH
 #define ASIM_SIM_NATIVE_ENGINE_HH
 
+#include <cstdio>
 #include <iosfwd>
 #include <string>
 #include <string_view>
 
 #include "codegen/native.hh"
 #include "sim/engine.hh"
+#include "support/subprocess.hh"
 
 namespace asim {
 
@@ -49,8 +64,8 @@ class NativeEngine : public Engine
   public:
     struct Options
     {
-        /** Text piped to the generated program's standard input on
-         *  every (re-)execution. */
+        /** Scripted input text for the generated program; shipped to
+         *  the child via the INPUT command on every spawn. */
         std::string stdinText;
 
         /** Stream receiving the program's non-trace output lines as
@@ -59,17 +74,29 @@ class NativeEngine : public Engine
         std::ostream *ioEcho = nullptr;
 
         /** Artifact directory; empty = fresh temp dir owned (and
-         *  removed) by the engine. */
+         *  removed) by the engine. Ignored with `prebuilt`. */
         std::string workDir;
 
-        /** Code generation knobs; aluSemantics, emitTrace, and
-         *  emitStateDump are overridden from the EngineConfig. */
+        /** Code generation knobs; aluSemantics, emitTrace,
+         *  emitStateDump, and emitServeLoop are overridden from the
+         *  EngineConfig / protocol needs. Ignored with `prebuilt`. */
         CodegenOptions codegen;
+
+        /** Adopt an already-compiled serve-capable build instead of
+         *  compiling: a homogeneous batch compiles once and every
+         *  instance spawns its own child off this shared binary
+         *  (Simulation::shareBatchArtifacts). Must be serve-capable,
+         *  dump state, and emit trace whenever the EngineConfig
+         *  carries a trace sink. */
+        std::shared_ptr<const NativeBuild> prebuilt;
     };
 
-    /** Generates and host-compiles the simulator (the expensive,
-     *  once-only half of the pipeline). @throws SimError when no host
-     *  compiler is available or compilation fails */
+    /** Generates and host-compiles the simulator (unless
+     *  Options::prebuilt short-circuits that). The serve child
+     *  spawns lazily at the first command, so a batch constructs any
+     *  number of instances without holding a process per idle
+     *  instance. @throws SimError when no host compiler is available
+     *  or compilation fails */
     NativeEngine(std::shared_ptr<const ResolvedSpec> rs,
                  const EngineConfig &cfg, Options opts);
     NativeEngine(const ResolvedSpec &rs, const EngineConfig &cfg,
@@ -88,40 +115,70 @@ class NativeEngine : public Engine
     void reset() override;
     void step() override { run(1); }
     void run(uint64_t cycles) override;
-    [[noreturn]] void restore(const EngineSnapshot &snap) override;
+    void restore(const EngineSnapshot &snap) override;
 
     /** The program's non-trace stdout so far (memory-mapped output
      *  and prompts, thesis text format). */
     const std::string &output() const { return ioText_; }
 
-    /** The program's complete stdout so far (trace + I/O interleaved
-     *  exactly as an in-process engine writing both to one stream). */
+    /** The program's complete simulation output so far (trace + I/O
+     *  interleaved exactly as an in-process engine writing both to
+     *  one stream). */
     const std::string &combinedOutput() const { return allOut_; }
 
     /** Generate/compile phase timings (Figure 5.1 rows). */
-    const NativeBuild &build() const { return build_; }
+    const NativeBuild &build() const { return *build_; }
 
-    /** Wall time of the last subprocess execution. */
-    double lastRunSeconds() const { return lastRun_.runSeconds; }
+    /** Wall time of the last RUN round trip. */
+    double lastRunSeconds() const { return lastRunSeconds_; }
 
-    /** Self-timed simulation-loop duration of the last execution
-     *  (the program's SIM_NS report). */
-    double lastSimSeconds() const { return lastRun_.simSeconds; }
+    /** The child's self-timed simulation-loop duration of the last
+     *  RUN (its per-command ns report). */
+    double lastSimSeconds() const { return lastSimSeconds_; }
+
+    /** Child process id (test hook; -1 until the first command
+     *  spawns the child, or after a failure reaps it). */
+    long childPid() const { return child_.pid(); }
+
+    /// @{ Crash-injection hooks for the fault-handling tests:
+    /// SIGKILL the child / break the command pipe mid-protocol.
+    void testKillChild() { child_.kill(); }
+    void testCloseCommandPipe() { child_.closeStdin(); }
+    /// @}
+
+  protected:
+    void refreshState() const override;
 
   private:
-    void advanceTo(uint64_t target);
+    struct Reply
+    {
+        uint64_t cycle = 0;
+        double simSeconds = 0;
+        std::string payload;
+    };
+
+    void ensureChild();
+    void spawnChild();
+    Reply exchange(const std::string &cmd,
+                   std::string_view extra = {});
+    [[noreturn]] void childFailed(const std::string &what);
     void ingest(std::string_view fresh);
     void replayTraceLine(std::string_view line);
     void replayMemLine(std::string_view line, bool write);
-    void parseStateDump(const std::string &err);
+    void parseStateDump(const std::string &dump);
 
     Options opts_;
-    NativeBuild build_;
-    bool ownWorkDir_ = false;
-    NativeRun lastRun_;
-    std::string allOut_;   ///< stdout consumed so far
+    std::shared_ptr<const NativeBuild> build_;
+    Subprocess child_;
+    FILE *errSpool_ = nullptr; ///< child stderr capture (tmpfile)
+    double lastRunSeconds_ = 0;
+    double lastSimSeconds_ = 0;
+    std::string allOut_;   ///< simulation output consumed so far
     std::string ioText_;   ///< non-trace subset of allOut_
     bool midLine_ = false; ///< last consumed char was not a newline
+    bool replaying_ = false;          ///< restore(): mute sinks/echo
+    bool down_ = false; ///< child failed; reset() required to respawn
+    mutable bool stateDirty_ = false; ///< state_ lags the child
 };
 
 } // namespace asim

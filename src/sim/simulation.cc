@@ -43,13 +43,14 @@ EngineRegistry::global()
                    return makeVm(rs, ctx.config, ctx.compiler);
                });
         r->add("native",
-               "generated C++ through the host compiler, run out of "
-               "process (ASIM II pipeline)",
+               "generated C++ through the host compiler, run as a "
+               "persistent --serve subprocess (ASIM II pipeline)",
                [](const SharedSpec &rs, const EngineContext &ctx) {
                    NativeEngine::Options no;
                    no.stdinText = ctx.stdinText;
                    no.ioEcho = ctx.ioEcho;
                    no.workDir = ctx.workDir;
+                   no.prebuilt = ctx.nativeBuild;
                    no.codegen.inlineConstAlu =
                        ctx.compiler.inlineConstAlu;
                    no.codegen.specializeConstMem =
@@ -226,6 +227,7 @@ Simulation::Simulation(const SimulationOptions &opts)
     ctx.config = opts.config;
     ctx.compiler = opts.compiler;
     ctx.program = opts.program;
+    ctx.nativeBuild = opts.nativeBuild;
     ctx.workDir = opts.workDir;
 
     std::ostream *out = opts.ioOut ? opts.ioOut : &std::cout;
@@ -287,18 +289,31 @@ Simulation::shareBatchArtifacts(const SimulationOptions &opts,
         shared.specFile.clear();
         shared.specText.clear();
     }
-    // Compile the vm bytecode once; every instance shares the
-    // immutable program. Trace checks are kept whenever any trace
-    // wiring exists (or the caller promises to attach a sink
-    // later), so shared bytecode behaves identically to
-    // per-instance compiles.
+    // Compile the expensive per-engine artifact once; every instance
+    // shares it immutably. Trace checks / trace output are kept
+    // whenever any trace wiring exists (or the caller promises to
+    // attach a sink later), so shared artifacts behave identically
+    // to per-instance compiles.
+    const bool tracingPossible = forceTracingPossible ||
+                                 shared.config.trace != nullptr ||
+                                 shared.traceStream != nullptr;
     if (shared.engine == "vm" && !shared.program) {
-        bool tracingPossible = forceTracingPossible ||
-                               shared.config.trace != nullptr ||
-                               shared.traceStream != nullptr;
         shared.program = std::make_shared<const Program>(
             compileProgram(*shared.resolved, shared.compiler,
                            tracingPossible));
+    }
+    if (shared.engine == "native" && !shared.nativeBuild) {
+        // One generated+host-compiled binary for the whole batch;
+        // each instance spawns its own --serve child off it.
+        CodegenOptions cg;
+        cg.inlineConstAlu = shared.compiler.inlineConstAlu;
+        cg.specializeConstMem = shared.compiler.specializeConstMem;
+        cg.aluSemantics = shared.config.aluSemantics;
+        cg.emitTrace = tracingPossible;
+        cg.emitStateDump = true;
+        cg.emitServeLoop = true;
+        shared.nativeBuild =
+            compileSpecShared(*shared.resolved, cg, shared.workDir);
     }
     return shared;
 }

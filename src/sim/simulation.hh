@@ -41,6 +41,8 @@
 
 namespace asim {
 
+struct NativeBuild;
+
 /** Everything an engine factory may need beyond the resolved spec. */
 struct EngineContext
 {
@@ -53,6 +55,13 @@ struct EngineContext
      *  config.trace may be set (batch construction compiles once and
      *  shares the immutable program across every instance). */
     std::shared_ptr<const Program> program;
+
+    /** Pre-compiled serve-capable simulator for the "native" engine;
+     *  when set, the factory adopts it instead of generating and
+     *  host-compiling — a batch compiles the binary once and every
+     *  instance spawns its own child process off it. Same provenance
+     *  rules as `program`. */
+    std::shared_ptr<const NativeBuild> nativeBuild;
 
     /** Scripted stdin for out-of-process engines; in-process engines
      *  receive their inputs through config.io instead. */
@@ -163,6 +172,11 @@ struct SimulationOptions
      *  automatically; set it by hand only with bytecode compiled
      *  from the same `resolved` spec and compatible options. */
     std::shared_ptr<const Program> program;
+
+    /** Pre-compiled shared simulator for the "native" engine (see
+     *  EngineContext::nativeBuild); filled in by
+     *  shareBatchArtifacts() under the same rules as `program`. */
+    std::shared_ptr<const NativeBuild> nativeBuild;
 
     /// @{ I/O wiring (used when config.io is null)
     IoMode ioMode = IoMode::Null;

@@ -1,0 +1,214 @@
+#include "support/subprocess.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+namespace asim {
+
+namespace {
+
+/** A write to a child that already exited must surface as EPIPE,
+ *  not kill this process. Installed once, before the first spawn. */
+void
+ignoreSigpipe()
+{
+    static const bool done = [] {
+        struct sigaction sa = {};
+        sa.sa_handler = SIG_IGN;
+        sigaction(SIGPIPE, &sa, nullptr);
+        return true;
+    }();
+    (void)done;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+Subprocess::~Subprocess()
+{
+    terminate();
+}
+
+void
+Subprocess::start(const std::vector<std::string> &argv, int stderrFd)
+{
+    if (running())
+        throw std::runtime_error("subprocess already running");
+    if (argv.empty())
+        throw std::runtime_error("subprocess needs an argv[0]");
+    ignoreSigpipe();
+    rbuf_.clear();
+
+    // O_CLOEXEC is load-bearing: without it, a child spawned by a
+    // *sibling* Subprocess (native batches spawn one per instance)
+    // would inherit these pipe ends and keep them open for its whole
+    // lifetime — then EOF-based death detection on this child never
+    // fires. The child's own 0/1/2 survive exec because dup2
+    // clears the close-on-exec flag on the destination fd.
+    int inPipe[2] = {-1, -1};  // parent writes -> child stdin
+    int outPipe[2] = {-1, -1}; // child stdout -> parent reads
+    if (::pipe2(inPipe, O_CLOEXEC) != 0 ||
+        ::pipe2(outPipe, O_CLOEXEC) != 0) {
+        closeFd(inPipe[0]);
+        closeFd(inPipe[1]);
+        throw std::runtime_error("pipe2() failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+
+    posix_spawn_file_actions_t fa;
+    posix_spawn_file_actions_init(&fa);
+    posix_spawn_file_actions_adddup2(&fa, inPipe[0], 0);
+    posix_spawn_file_actions_adddup2(&fa, outPipe[1], 1);
+    if (stderrFd >= 0)
+        posix_spawn_file_actions_adddup2(&fa, stderrFd, 2);
+
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    pid_t pid = -1;
+    int rc = ::posix_spawn(&pid, cargv[0], &fa, nullptr, cargv.data(),
+                           environ);
+    posix_spawn_file_actions_destroy(&fa);
+    ::close(inPipe[0]);
+    ::close(outPipe[1]);
+    if (rc != 0) {
+        ::close(inPipe[1]);
+        ::close(outPipe[0]);
+        throw std::runtime_error("posix_spawn(" + argv[0] +
+                                 ") failed: " + std::strerror(rc));
+    }
+    pid_ = pid;
+    inFd_ = inPipe[1];
+    outFd_ = outPipe[0];
+}
+
+bool
+Subprocess::writeAll(std::string_view data)
+{
+    if (inFd_ < 0)
+        return false;
+    const char *p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+        ssize_t n = ::write(inFd_, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+Subprocess::readLine(std::string &line)
+{
+    line.clear();
+    for (;;) {
+        size_t nl = rbuf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(rbuf_, 0, nl);
+            rbuf_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(outFd_, chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        rbuf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+bool
+Subprocess::readExact(std::string &out, size_t n)
+{
+    out.clear();
+    if (rbuf_.size() >= n) {
+        out.assign(rbuf_, 0, n);
+        rbuf_.erase(0, n);
+        return true;
+    }
+    out.swap(rbuf_);
+    while (out.size() < n) {
+        char chunk[4096];
+        size_t want = n - out.size();
+        ssize_t got = ::read(outFd_, chunk,
+                             want < sizeof chunk ? want : sizeof chunk);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return false;
+        out.append(chunk, static_cast<size_t>(got));
+    }
+    return true;
+}
+
+void
+Subprocess::closeStdin()
+{
+    closeFd(inFd_);
+}
+
+int
+Subprocess::reap(bool force)
+{
+    if (pid_ <= 0)
+        return -1;
+    closeFd(inFd_);
+    closeFd(outFd_);
+    rbuf_.clear();
+    if (force)
+        ::kill(static_cast<pid_t>(pid_), SIGKILL);
+    int status = 0;
+    pid_t r;
+    do {
+        r = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+    } while (r < 0 && errno == EINTR);
+    pid_ = -1;
+    return r < 0 ? -1 : status;
+}
+
+int
+Subprocess::terminate()
+{
+    return reap(/*force=*/true);
+}
+
+int
+Subprocess::waitExit()
+{
+    return reap(/*force=*/false);
+}
+
+void
+Subprocess::kill()
+{
+    if (pid_ > 0)
+        ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+} // namespace asim

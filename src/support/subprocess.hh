@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Subprocess — a long-lived child process with bidirectional pipes.
+ *
+ * Built for request/response coprocesses (the native engine's
+ * `simulator --serve` children, DESIGN.md §5): the parent writes a
+ * command to the child's stdin and reads a framed reply off its
+ * stdout. The child's stderr is redirected to a caller-supplied file
+ * descriptor (never a pipe — an unread stderr pipe could fill and
+ * deadlock the child), typically an unlinked spool file the caller
+ * rewinds for diagnostics after a failure.
+ *
+ * I/O errors are reported by return value, not exception: a false
+ * from writeAll()/readLine()/readExact() means the pipe is broken or
+ * at EOF — the caller reaps the child with terminate() and raises
+ * its own domain error. The first start() installs a process-wide
+ * SIG_IGN for SIGPIPE so a write to a dead child fails with EPIPE
+ * instead of killing the process.
+ */
+
+#ifndef ASIM_SUPPORT_SUBPROCESS_HH
+#define ASIM_SUPPORT_SUBPROCESS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asim {
+
+/** See file comment. Movable, not copyable; the destructor kills and
+ *  reaps any still-running child. */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+    ~Subprocess();
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+
+    /**
+     * Spawn `argv` (argv[0] is the binary path) with stdin/stdout
+     * piped to this object. @param stderrFd fd dup2'ed onto the
+     * child's stderr, or -1 to inherit the parent's.
+     * @throws std::runtime_error when the spawn fails or a child is
+     *         already running
+     */
+    void start(const std::vector<std::string> &argv, int stderrFd = -1);
+
+    /** True while a child has been started and not yet reaped. (The
+     *  child may have exited; that surfaces as read/write failure.) */
+    bool running() const { return pid_ > 0; }
+
+    /** Child process id, or -1 when not running. */
+    long pid() const { return pid_; }
+
+    /** Write all of `data` to the child's stdin. @return false on
+     *  any write error (EPIPE when the child died). */
+    bool writeAll(std::string_view data);
+
+    /** Read one '\n'-terminated line (newline stripped) from the
+     *  child's stdout. @return false on EOF/error */
+    bool readLine(std::string &line);
+
+    /** Read exactly `n` bytes from the child's stdout into `out`
+     *  (resized). @return false on EOF/error */
+    bool readExact(std::string &out, size_t n);
+
+    /** Close the child's stdin (EOF to the child). Idempotent. */
+    void closeStdin();
+
+    /** Close pipes, SIGKILL the child if still alive, reap it.
+     *  @return the raw wait status, or -1 when nothing ran */
+    int terminate();
+
+    /** Close stdin and wait for the child to exit on its own.
+     *  @return the raw wait status, or -1 when nothing ran */
+    int waitExit();
+
+    /** Send SIGKILL without reaping (test hook for crash paths). */
+    void kill();
+
+  private:
+    int reap(bool force);
+
+    long pid_ = -1;
+    int inFd_ = -1;    ///< write end of the child's stdin
+    int outFd_ = -1;   ///< read end of the child's stdout
+    std::string rbuf_; ///< readLine/readExact buffer
+};
+
+} // namespace asim
+
+#endif // ASIM_SUPPORT_SUBPROCESS_HH

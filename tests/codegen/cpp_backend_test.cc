@@ -100,6 +100,54 @@ TEST(CppBackend, StackMachineGeneratesLargeSwitchTables)
     EXPECT_TRUE(contains(code, "static int32_t ljbram[256];"));
 }
 
+TEST(CppBackend, ServeLoopShape)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    CodegenOptions opts;
+    opts.emitServeLoop = true;
+    opts.emitStateDump = true;
+    std::string code = generateCpp(rs, opts);
+    // The command dispatcher and its framing.
+    EXPECT_TRUE(contains(code, "--serve"));
+    for (const char *cmd : {"\"RUN \"", "\"INPUT \"", "\"RESET\"",
+                            "\"STATE\"", "\"STATS\"", "\"QUIT\""})
+        EXPECT_TRUE(contains(code, cmd)) << cmd;
+    EXPECT_TRUE(contains(code, "respond(\"OK\""));
+    EXPECT_TRUE(contains(code, "resetstate();"));
+    EXPECT_TRUE(contains(code, "dumpstate();"));
+    // Simulation output is buffered per command in serve builds...
+    EXPECT_TRUE(
+        contains(code, "xprintf(\"Cycle %3lld\", cyclecount);"));
+    // ...while the one-shot entry point survives unchanged.
+    EXPECT_TRUE(contains(code, "cycles = std::atoll(argv[1]);"));
+}
+
+TEST(CppBackend, OneShotBuildsCarryNoServePlumbing)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    std::string code = generateCpp(rs);
+    EXPECT_FALSE(contains(code, "--serve"));
+    EXPECT_FALSE(contains(code, "xprintf"));
+    EXPECT_FALSE(contains(code, "servemode"));
+}
+
+TEST(CppBackend, ServeStateDumpRidesTheResponseBuffer)
+{
+    ResolvedSpec rs = resolveText(counterSpec(4, 20));
+    CodegenOptions opts;
+    opts.emitServeLoop = true;
+    opts.emitStateDump = true;
+    std::string code = generateCpp(rs, opts);
+    EXPECT_TRUE(contains(code, "dpf(\"STATE_V "));
+    EXPECT_TRUE(contains(code, "dpf(\"STATE_END\\n\")"));
+    // One-shot state dumps still print to stderr.
+    CodegenOptions oneShot;
+    oneShot.emitStateDump = true;
+    std::string plain = generateCpp(rs, oneShot);
+    EXPECT_TRUE(
+        contains(plain, "std::fprintf(stderr, \"STATE_V "));
+}
+
 TEST(CppBackend, GeneratedCodeIsDeterministic)
 {
     ResolvedSpec rs = resolveText(counterSpec(4, 20));

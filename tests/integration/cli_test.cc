@@ -152,13 +152,17 @@ TEST(Cli, AsimRunBatchManifestWithJson)
         << r.out; // the gcd watch=a:21 line
 }
 
-TEST(Cli, AsimRunBatchRefusesNative)
+TEST(Cli, AsimRunBatchNative)
 {
+    if (std::system("g++ --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "no host compiler";
+    // Batch-eligible since the persistent --serve protocol: one
+    // compiled binary, one child per instance (DESIGN.md §5/§7).
     CmdResult r = run(std::string(ASIM_RUN_BIN) +
-                      " --batch=2 --engine=native " + counterSpec());
-    EXPECT_NE(r.status, 0);
-    EXPECT_NE(r.out.find("out of process"), std::string::npos)
-        << r.out;
+                      " --batch=2 --engine=native --cycles=10 " +
+                      counterSpec());
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("2 instances"), std::string::npos) << r.out;
 }
 
 TEST(Cli, AsimRunBatchExitsTwoOnFault)

@@ -11,11 +11,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "machines/counter.hh"
 #include "machines/tiny_computer.hh"
 #include "sim/batch.hh"
+#include "sim/native_engine.hh"
 #include "sim/vm.hh"
 #include "support/thread_pool.hh"
 
@@ -118,23 +120,82 @@ TEST(BatchRunnerTest, SharedProgramKeepsTraceChecksForCaptureTrace)
         EXPECT_EQ(r.traceText, single) << r.index;
 }
 
-TEST(BatchRunnerTest, RefusesOutOfProcessEngines)
+// ---------------------------------------------------------------------
+// Native (out-of-process) batches: one compiled binary, one --serve
+// child per instance (skipped without a host compiler).
+// ---------------------------------------------------------------------
+
+class NativeBatch : public ::testing::Test
 {
-    BatchJob job;
-    job.options.specText = counterSpec(4, 10);
-    job.options.engine = "native";
-    BatchRunner runner;
-    try {
-        runner.addJob(job);
-        FAIL() << "expected SimError";
-    } catch (const SimError &e) {
-        std::string msg = e.what();
-        EXPECT_NE(msg.find("native"), std::string::npos) << msg;
-        EXPECT_NE(msg.find("out of process"), std::string::npos)
-            << msg;
-        EXPECT_NE(msg.find("quadratic"), std::string::npos) << msg;
+  protected:
+    void
+    SetUp() override
+    {
+        if (!NativeEngine::available())
+            GTEST_SKIP() << "no host compiler";
     }
-    EXPECT_EQ(runner.jobCount(), 0u);
+};
+
+TEST_F(NativeBatch, InstancesShareOneCompiledBinary)
+{
+    SimulationOptions opts;
+    opts.specText = counterSpec(6, 100);
+    opts.engine = "native";
+    auto sims = Simulation::makeBatch(opts, 3);
+    ASSERT_EQ(sims.size(), 3u);
+
+    const auto *first =
+        dynamic_cast<const NativeEngine *>(&sims[0]->engine());
+    ASSERT_NE(first, nullptr);
+    for (auto &sim : sims) {
+        const auto *ne =
+            dynamic_cast<const NativeEngine *>(&sim->engine());
+        ASSERT_NE(ne, nullptr);
+        EXPECT_EQ(&ne->build(), &first->build())
+            << "batch must share one compiled binary";
+        EXPECT_EQ(ne->childPid(), -1)
+            << "children spawn lazily, not at construction";
+        sim->run(10);
+        EXPECT_EQ(sim->value("count"), 10);
+    }
+    // After running, each instance owns its own live child off the
+    // one shared binary.
+    std::set<long> pids;
+    for (auto &sim : sims) {
+        const auto *ne =
+            dynamic_cast<const NativeEngine *>(&sim->engine());
+        EXPECT_GT(ne->childPid(), 0);
+        pids.insert(ne->childPid());
+    }
+    EXPECT_EQ(pids.size(), sims.size());
+}
+
+TEST_F(NativeBatch, MatchesVmBatchOnEveryChannel)
+{
+    auto runEngine = [&](const char *engine) {
+        BatchJob job;
+        job.options.specFile = specPath("gcd.asim");
+        job.options.engine = engine;
+        job.captureTrace = true;
+        BatchRunner runner;
+        runner.addBatch(job, 3);
+        return runner.run();
+    };
+    BatchResult native = runEngine("native");
+    BatchResult vm = runEngine("vm");
+    ASSERT_EQ(native.instances.size(), vm.instances.size());
+    for (size_t i = 0; i < native.instances.size(); ++i) {
+        EXPECT_FALSE(native.instances[i].faulted)
+            << native.instances[i].fault;
+        EXPECT_EQ(native.instances[i].traceText,
+                  vm.instances[i].traceText)
+            << i;
+        EXPECT_EQ(native.instances[i].ioText, vm.instances[i].ioText);
+        EXPECT_TRUE(native.instances[i].state == vm.instances[i].state)
+            << "instance " << i << " final state differs";
+        EXPECT_EQ(native.instances[i].cyclesRun,
+                  vm.instances[i].cyclesRun);
+    }
 }
 
 TEST(BatchRunnerTest, RefusesInteractiveIo)
@@ -466,6 +527,68 @@ TEST_P(BatchDeterminism, BitIdenticalAcrossThreadCounts)
 INSTANTIATE_TEST_SUITE_P(Engines, BatchDeterminism,
                          ::testing::Values("interp", "vm",
                                            "symbolic"));
+
+/** The same §7 property for the out-of-process engine (acceptance
+ *  bar of the persistent-subprocess protocol): shared-binary shards,
+ *  a scripted echo, and a faulting machine come back byte-identical
+ *  at 1/2/hw threads. Artifacts are pre-shared once so the test pays
+ *  one compile per job family, not one per thread count. */
+TEST_F(NativeBatch, BitIdenticalAcrossThreadCounts)
+{
+    auto share = [](SimulationOptions opts, bool tracing) {
+        opts.engine = "native";
+        return Simulation::shareBatchArtifacts(opts, tracing);
+    };
+    SimulationOptions shardOpts;
+    shardOpts.specText = counterSpec(6, 100);
+    shardOpts = share(shardOpts, /*tracing=*/true);
+
+    SimulationOptions echoOpts;
+    echoOpts.specText = kEchoSpec;
+    echoOpts.ioMode = IoMode::Script;
+    echoOpts.scriptInputs = {7, 8, 9, 10, 11};
+    echoOpts = share(echoOpts, false);
+
+    SimulationOptions faultOpts;
+    faultOpts.specText = kFaultSpec;
+    faultOpts = share(faultOpts, false);
+
+    std::string reference;
+    unsigned counts[] = {1u, 2u, ThreadPool::hardwareThreads()};
+    for (unsigned threads : counts) {
+        BatchOptions bopts;
+        bopts.threads = threads;
+        BatchRunner runner(bopts);
+
+        BatchJob shard;
+        shard.options = shardOpts;
+        shard.cycles = 64;
+        shard.captureTrace = true;
+        shard.label = "counter";
+        runner.addBatch(shard, 3);
+
+        BatchJob echo;
+        echo.options = echoOpts;
+        echo.label = "echo";
+        runner.addJob(echo);
+
+        BatchJob fault;
+        fault.options = faultOpts;
+        fault.cycles = 50;
+        fault.label = "faulty";
+        runner.addJob(fault);
+
+        BatchResult result = runner.run();
+        EXPECT_EQ(result.threads, threads);
+        std::string fp = fingerprint(result);
+        if (reference.empty())
+            reference = fp;
+        else
+            EXPECT_EQ(fp, reference)
+                << "native diverged at " << threads << " threads";
+    }
+    EXPECT_NE(reference.find("faulty"), std::string::npos);
+}
 
 } // namespace
 } // namespace asim

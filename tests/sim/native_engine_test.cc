@@ -1,0 +1,241 @@
+/** @file
+ * NativeEngine persistent-subprocess protocol tests: the child
+ * survives across run()/reset(), crashes surface as SimError with
+ * the engine at its last confirmed cycle and reset() recovering,
+ * restore() replays, and — the regression the protocol exists to
+ * fix — stepping is incremental, not quadratic.
+ *
+ * Skipped without a host compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "analysis/resolve.hh"
+#include "machines/counter.hh"
+#include "sim/native_engine.hh"
+#include "sim/simulation.hh"
+
+#ifndef ASIM_SPECS_DIR
+#define ASIM_SPECS_DIR "specs"
+#endif
+
+namespace asim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** A machine that faults once its counter walks off a 10-cell
+ *  memory (same shape as the batch suite's fault spec). */
+const char *kFaultSpec = "# walks off the end of mem\n"
+                         "count* next .\n"
+                         "A next 4 count 1\n"
+                         "M count 0 next 1 1\n"
+                         "M mem count count 1 10\n"
+                         ".\n";
+
+class NativeEngineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!NativeEngine::available())
+            GTEST_SKIP() << "no host compiler";
+    }
+
+    static std::unique_ptr<NativeEngine>
+    counterEngine()
+    {
+        return std::make_unique<NativeEngine>(
+            resolveText(counterSpec(4, 100)), EngineConfig{});
+    }
+};
+
+TEST_F(NativeEngineTest, OneChildServesManyRunsAndResets)
+{
+    auto ep = counterEngine();
+    NativeEngine &e = *ep;
+    EXPECT_EQ(e.childPid(), -1)
+        << "construction must not spawn (lazy: batches hold no "
+           "process per idle instance)";
+    e.run(3);
+    long pid = e.childPid();
+    EXPECT_GT(pid, 0);
+    e.run(4);
+    EXPECT_EQ(e.cycle(), 7u);
+    EXPECT_EQ(e.value("count"), 7);
+    EXPECT_EQ(e.childPid(), pid) << "run() must not respawn";
+    e.reset();
+    EXPECT_EQ(e.childPid(), pid) << "reset() is a protocol command";
+    EXPECT_EQ(e.cycle(), 0u);
+    EXPECT_EQ(e.value("count"), 0);
+    e.run(2);
+    EXPECT_EQ(e.value("count"), 2);
+}
+
+TEST_F(NativeEngineTest, KilledChildThrowsKeepsCycleAndResetRecovers)
+{
+    auto ep = counterEngine();
+    NativeEngine &e = *ep;
+    e.run(5);
+    EXPECT_EQ(e.value("count"), 5);
+    long pid = e.childPid();
+    e.testKillChild();
+    try {
+        e.run(5);
+        FAIL() << "expected SimError from the killed child";
+    } catch (const SimError &err) {
+        EXPECT_NE(std::string(err.what()).find("cycle 5"),
+                  std::string::npos)
+            << err.what();
+    }
+    EXPECT_EQ(e.cycle(), 5u) << "last confirmed cycle";
+    EXPECT_EQ(e.value("count"), 5) << "last confirmed state";
+    // Still down until reset():
+    EXPECT_THROW(e.run(1), SimError);
+    e.reset();
+    EXPECT_NE(e.childPid(), pid) << "reset() must respawn";
+    e.run(3);
+    EXPECT_EQ(e.cycle(), 3u);
+    EXPECT_EQ(e.value("count"), 3);
+}
+
+TEST_F(NativeEngineTest, UnfetchedStateAfterCrashRefusesToGoStale)
+{
+    auto ep = counterEngine();
+    NativeEngine &e = *ep;
+    e.run(2);
+    EXPECT_EQ(e.value("count"), 2); // fetched: survives a crash
+    e.run(3); // state for cycle 5 is never fetched...
+    e.testKillChild();
+    // ...so after the crash, observers must throw rather than pair
+    // cycle()==5 with the stale cycle-2 mirror (first call detects
+    // the death, later ones hit the reaped-child path).
+    EXPECT_THROW(e.value("count"), SimError);
+    EXPECT_THROW(e.state(), SimError);
+    EXPECT_THROW(e.snapshot(), SimError);
+    EXPECT_EQ(e.cycle(), 5u);
+    e.reset();
+    e.run(1);
+    EXPECT_EQ(e.value("count"), 1);
+}
+
+TEST_F(NativeEngineTest, BrokenCommandPipeThrowsAndResetRecovers)
+{
+    auto ep = counterEngine();
+    NativeEngine &e = *ep;
+    e.run(4);
+    e.testCloseCommandPipe();
+    EXPECT_THROW(e.run(1), SimError);
+    EXPECT_EQ(e.cycle(), 4u);
+    e.reset();
+    e.run(6);
+    EXPECT_EQ(e.value("count"), 6);
+}
+
+TEST_F(NativeEngineTest, RuntimeFaultThrowsAndResetRecovers)
+{
+    NativeEngine e(resolveText(kFaultSpec), EngineConfig{});
+    e.run(8); // safely inside the 10-cell memory
+    EXPECT_EQ(e.cycle(), 8u);
+    int32_t confirmed = e.value("count");
+    EXPECT_THROW(e.run(50), SimError) << "must walk off the memory";
+    EXPECT_EQ(e.cycle(), 8u) << "cycle rolls back to last confirmed";
+    EXPECT_EQ(e.value("count"), confirmed);
+    e.reset();
+    e.run(8);
+    EXPECT_EQ(e.cycle(), 8u);
+}
+
+TEST_F(NativeEngineTest, ScriptedInputRewindsOnReset)
+{
+    const char *echoSpec = "# integer echo\n"
+                           "= 4\n"
+                           "in out .\n"
+                           "M in 1 0 2 1\n"
+                           "M out 1 in 3 1\n"
+                           ".\n";
+    NativeEngine::Options opts;
+    opts.stdinText = "10\n20\n30\n40\n50\n";
+    NativeEngine e(resolveText(echoSpec), EngineConfig{},
+                   std::move(opts));
+    e.run(5);
+    EXPECT_EQ(e.output(), "10\n20\n30\n40\n50\n");
+    e.reset();
+    e.run(2);
+    EXPECT_EQ(e.output(), "10\n20\n") << "reset rewinds the script";
+}
+
+TEST_F(NativeEngineTest, RestoreByReplayVerifiesDivergence)
+{
+    // A snapshot taken under a different input script cannot be
+    // replayed into this engine — the verification must catch it.
+    const char *echoSpec = "# integer echo\n"
+                           "= 4\n"
+                           "in out .\n"
+                           "M in 1 0 2 1\n"
+                           "M out 1 in 3 1\n"
+                           ".\n";
+    ResolvedSpec rs = resolveText(echoSpec);
+    NativeEngine::Options a;
+    a.stdinText = "1\n2\n3\n4\n5\n";
+    NativeEngine ea(rs, EngineConfig{}, std::move(a));
+    ea.run(3);
+    EngineSnapshot snap = ea.snapshot();
+
+    NativeEngine::Options b;
+    b.stdinText = "9\n9\n9\n9\n9\n";
+    NativeEngine eb(rs, EngineConfig{}, std::move(b));
+    EXPECT_THROW(eb.restore(snap), SimError);
+    // Same-history engine restores fine.
+    NativeEngine::Options c;
+    c.stdinText = "1\n2\n3\n4\n5\n";
+    NativeEngine ec(rs, EngineConfig{}, std::move(c));
+    ec.restore(snap);
+    EXPECT_EQ(ec.cycle(), 3u);
+    EXPECT_TRUE(ec.state() == snap.state);
+}
+
+/** The regression guard the whole protocol exists for: stepping N
+ *  cycles must cost O(N) round trips, not O(N²) replayed cycles.
+ *  Before the protocol, 1000 step() calls spawned 1000 processes and
+ *  re-simulated ~500k cycles (seconds); now they are 1000 pipe round
+ *  trips (milliseconds). The bound is the acceptance bar's 3x a
+ *  single run(1000) plus an absolute floor absorbing round-trip
+ *  overhead on slow, loaded CI hosts. */
+TEST_F(NativeEngineTest, SteppingIsIncrementalNotQuadratic)
+{
+    SimulationOptions opts;
+    opts.specFile = std::string(ASIM_SPECS_DIR) + "/gcd.asim";
+    opts.engine = "native";
+
+    Simulation whole(opts);
+    auto t0 = Clock::now();
+    whole.run(1000);
+    double runOnce = secondsSince(t0);
+
+    Simulation stepped(opts);
+    t0 = Clock::now();
+    for (int i = 0; i < 1000; ++i)
+        stepped.step();
+    double stepAll = secondsSince(t0);
+
+    EXPECT_EQ(stepped.cycle(), whole.cycle());
+    EXPECT_TRUE(stepped.engine().state() == whole.engine().state());
+    EXPECT_LT(stepAll, 3.0 * runOnce + 0.5)
+        << "1000x step() took " << stepAll << "s vs run(1000) "
+        << runOnce << "s — quadratic replay is back?";
+}
+
+} // namespace
+} // namespace asim

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 
@@ -105,6 +106,49 @@ TEST_P(NativeEquivalence, MatchesVmOnEveryChannel)
     EXPECT_TRUE(native.state == vm.state)
         << c.file << ": final state differs";
     EXPECT_EQ(native.cycle, vm.cycle) << c.file;
+}
+
+/** The persistent-subprocess path the protocol added: drive the
+ *  native engine cycle by cycle (one RUN round trip each) against a
+ *  vm stepped in lockstep, comparing every traced observable every
+ *  cycle — the interactive-stepping workload the old replay adapter
+ *  made quadratic. */
+TEST_P(NativeEquivalence, StepsInLockstepWithVm)
+{
+    const SpecCase &c = GetParam();
+    std::istringstream isVm(c.stdinText), isNative(c.stdinText);
+    std::ostringstream osVm, osNative;
+
+    SimulationOptions opts;
+    opts.specFile = std::string(ASIM_SPECS_DIR) + "/" + c.file;
+    opts.ioMode = IoMode::Interactive;
+    opts.traceStream = nullptr;
+
+    opts.engine = "vm";
+    opts.ioIn = &isVm;
+    opts.ioOut = &osVm;
+    Simulation vm(opts);
+
+    opts.engine = "native";
+    opts.ioIn = &isNative;
+    opts.ioOut = &osNative;
+    Simulation native(opts);
+
+    int64_t cycles = std::min<int64_t>(vm.defaultCycles(), 25);
+    ASSERT_GT(cycles, 0);
+    for (int64_t i = 0; i < cycles; ++i) {
+        vm.step();
+        native.step();
+        ASSERT_EQ(native.cycle(), vm.cycle());
+        for (const auto &item : vm.resolved().traceList) {
+            ASSERT_EQ(native.value(item.name), vm.value(item.name))
+                << c.file << " cycle " << vm.cycle() << " "
+                << item.name;
+        }
+    }
+    EXPECT_TRUE(native.engine().state() == vm.engine().state())
+        << c.file;
+    EXPECT_EQ(osNative.str(), osVm.str()) << c.file;
 }
 
 std::string

@@ -390,16 +390,55 @@ TEST_F(NativeFacade, IncrementalRunsReplayDeterministically)
     EXPECT_EQ(os.str(), osRef.str());
 }
 
-TEST_F(NativeFacade, RestoreUnsupported)
+TEST_F(NativeFacade, RestoreByReplayContinuesIdentically)
 {
+    std::ostringstream osA, osB;
     SimulationOptions opts;
     opts.specText = counterSpec(4, 100);
     opts.engine = "native";
+    opts.traceStream = &osA;
     Simulation sim(opts);
     sim.run(5);
     EngineSnapshot snap = sim.snapshot();
     EXPECT_EQ(snap.cycle, 5u);
-    EXPECT_THROW(sim.restore(snap), SimError);
+    sim.run(7); // wander past the snapshot point
+
+    // Restore replays RESET + RUN 5 inside the child; the trace of
+    // the replay itself is muted, and the continuation matches an
+    // uninterrupted run cycle for cycle.
+    sim.restore(snap);
+    EXPECT_EQ(sim.cycle(), 5u);
+    EXPECT_EQ(sim.value("count"), 5);
+
+    opts.traceStream = &osB;
+    Simulation ref(opts);
+    ref.run(12);
+    osA.str("");
+    sim.run(7);
+    EXPECT_EQ(sim.value("count"), ref.value("count"));
+    EXPECT_TRUE(sim.engine().state() == ref.engine().state());
+    // osA now holds exactly the post-restore cycles 5..11.
+    EXPECT_NE(osB.str().find(osA.str()), std::string::npos);
+}
+
+TEST_F(NativeFacade, RestoreFromVmSnapshotAcrossEngines)
+{
+    auto rs = std::make_shared<const ResolvedSpec>(
+        resolveText(counterSpec(4, 100)));
+    SimulationOptions opts;
+    opts.resolved = rs;
+    opts.engine = "vm";
+    Simulation vm(opts);
+    vm.run(9);
+
+    opts.engine = "native";
+    Simulation native(opts);
+    native.restore(vm.snapshot());
+    EXPECT_EQ(native.cycle(), 9u);
+    EXPECT_EQ(native.value("count"), vm.value("count"));
+    native.run(3);
+    vm.run(3);
+    EXPECT_TRUE(native.engine().state() == vm.engine().state());
 }
 
 TEST_F(NativeFacade, RejectsIoDevice)

@@ -1,0 +1,95 @@
+/** @file
+ * Subprocess pipe-plumbing tests: round trips, EOF/EPIPE reporting
+ * (instead of SIGPIPE death), kill/reap, and stderr redirection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/subprocess.hh"
+
+namespace asim {
+namespace {
+
+TEST(SubprocessTest, EchoRoundTrip)
+{
+    Subprocess p;
+    p.start({"/bin/cat"});
+    EXPECT_GT(p.pid(), 0);
+    EXPECT_TRUE(p.writeAll("hello\nworld\n"));
+    std::string line;
+    ASSERT_TRUE(p.readLine(line));
+    EXPECT_EQ(line, "hello");
+    std::string rest;
+    ASSERT_TRUE(p.readExact(rest, 6));
+    EXPECT_EQ(rest, "world\n");
+    p.closeStdin();
+    EXPECT_FALSE(p.readLine(line)) << "expected EOF after close";
+    int status = p.waitExit();
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_FALSE(p.running());
+}
+
+TEST(SubprocessTest, WriteToDeadChildFailsInsteadOfKillingUs)
+{
+    Subprocess p;
+    p.start({"/bin/true"});
+    std::string line;
+    EXPECT_FALSE(p.readLine(line)); // EOF: the child is exiting
+    // EOF on stdout does not guarantee the dying child's stdin
+    // read end is closed *yet*, so poll: the write must start
+    // failing (EPIPE) shortly — and must never SIGPIPE-kill us.
+    bool ok = true;
+    for (int i = 0; i < 2000 && ok; ++i) {
+        ok = p.writeAll("x\n");
+        if (ok)
+            usleep(1000);
+    }
+    EXPECT_FALSE(ok) << "writes kept succeeding after child death";
+    EXPECT_NE(p.terminate(), -1);
+}
+
+TEST(SubprocessTest, TerminateKillsARunningChild)
+{
+    Subprocess p;
+    p.start({"/bin/cat"}); // blocks on stdin forever
+    int status = p.terminate();
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    EXPECT_FALSE(p.running());
+}
+
+TEST(SubprocessTest, StderrGoesToTheSuppliedFd)
+{
+    FILE *spool = std::tmpfile();
+    ASSERT_NE(spool, nullptr);
+    Subprocess p;
+    p.start({"/bin/sh", "-c", "echo oops >&2"}, fileno(spool));
+    std::string line;
+    EXPECT_FALSE(p.readLine(line));
+    p.waitExit();
+    std::rewind(spool);
+    char buf[64] = {};
+    size_t n = std::fread(buf, 1, sizeof buf - 1, spool);
+    EXPECT_EQ(std::string(buf, n), "oops\n");
+    std::fclose(spool);
+}
+
+TEST(SubprocessTest, StartRejectsNonsense)
+{
+    Subprocess p;
+    EXPECT_THROW(p.start({}), std::runtime_error);
+    EXPECT_THROW(p.start({"/nonexistent/binary"}),
+                 std::runtime_error);
+    p.start({"/bin/cat"});
+    EXPECT_THROW(p.start({"/bin/cat"}), std::runtime_error);
+    p.terminate();
+}
+
+} // namespace
+} // namespace asim

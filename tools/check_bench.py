@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Diff Google-Benchmark JSON artifacts against BENCH_baseline.json.
+
+CI's Release legs run bench_engines / bench_batch and call this to
+compare their JSON output with the committed baseline (closing the
+ROADMAP note that artifacts existed but nothing diffed them). The
+comparison is *relative*: for each benchmark name present in both
+files, the primary metric (items_per_second when present, else
+real_time) is compared against the baseline with a tolerance, and a
+per-benchmark Markdown table is written to --output and, when the
+environment provides it, appended to $GITHUB_STEP_SUMMARY.
+
+Exit status: 0 when no benchmark regressed beyond tolerance, 1
+otherwise (the CI step is advisory via continue-on-error, so a red
+mark is a reviewer signal, not a merge blocker). Benchmarks present
+only on one side are reported as `new` / `missing` and never fail
+the check — CI hosts and the baseline machine differ, fleets evolve.
+
+Usage:
+    tools/check_bench.py --baseline BENCH_baseline.json \
+        [--tolerance 0.5] [--output report.md] current.json...
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """name -> (metric_value, metric_name); aggregates are skipped."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if not name:
+            continue
+        if "items_per_second" in b:
+            out[name] = (float(b["items_per_second"]),
+                         "items_per_second")
+        elif "real_time" in b:
+            out[name] = (float(b["real_time"]), "real_time")
+    return out
+
+
+def compare(baseline, current, tolerance):
+    """Yield (name, base, cur, ratio, status) rows for the benchmarks
+    in `current`, sorted by name. (The baseline may merge several
+    bench binaries; names it alone holds are reported separately,
+    once, against the union of all current files.)
+
+    ratio is current/baseline oriented so that > 1 is better (the
+    reciprocal is taken for time-based metrics).
+    """
+    rows = []
+    for name in sorted(current):
+        cur, metric = current[name]
+        if name not in baseline:
+            rows.append((name, None, cur, None, "new"))
+            continue
+        base, _ = baseline[name]
+        if base <= 0 or cur <= 0:
+            rows.append((name, base, cur, None, "n/a"))
+            continue
+        ratio = cur / base
+        if metric == "real_time":
+            ratio = 1.0 / ratio  # smaller time is better
+        status = "REGRESSION" if ratio < 1.0 - tolerance else "ok"
+        rows.append((name, base, cur, ratio, status))
+    return rows
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if v >= 1e6:
+        return f"{v:.3g}"
+    return f"{v:.4g}"
+
+
+def render(title, rows, tolerance):
+    lines = [f"### Bench vs baseline: {title}", ""]
+    lines.append(f"Tolerance: worse than {tolerance:.0%} below "
+                 "baseline flags a regression. Ratios > 1 are "
+                 "faster than baseline.")
+    lines.append("")
+    lines.append("| benchmark | baseline | current | ratio | "
+                 "status |")
+    lines.append("| --- | ---: | ---: | ---: | --- |")
+    for name, base, cur, ratio, status in rows:
+        mark = {"REGRESSION": "❌", "ok": "✅"}.get(status, "➖")
+        r = "-" if ratio is None else f"{ratio:.2f}x"
+        lines.append(f"| `{name}` | {fmt(base)} | {fmt(cur)} | {r} "
+                     f"| {mark} {status} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference JSON")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed relative shortfall before a "
+                    "benchmark counts as regressed (default 0.5: "
+                    "flag only when < 50%% of baseline — CI hosts "
+                    "and the baseline machine differ)")
+    ap.add_argument("--output", help="write the Markdown report here")
+    ap.add_argument("current", nargs="+",
+                    help="Google-Benchmark JSON files to compare")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"cannot read baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"baseline {args.baseline} holds no benchmarks",
+              file=sys.stderr)
+        return 2
+
+    report = []
+    regressed = []
+    seen = set()
+    for path in args.current:
+        try:
+            current = load_benchmarks(path)
+        except (OSError, ValueError) as e:
+            print(f"cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        seen |= set(current)
+        rows = compare(baseline, current, args.tolerance)
+        report.append(render(os.path.basename(path), rows,
+                             args.tolerance))
+        regressed += [f"{os.path.basename(path)}: {name}"
+                      for name, _, _, _, s in rows
+                      if s == "REGRESSION"]
+
+    gone = sorted(set(baseline) - seen)
+    if gone:
+        lines = ["### Baseline benchmarks not exercised by any "
+                 "current file", ""]
+        lines += [f"- `{name}`" for name in gone]
+        lines.append("")
+        report.append("\n".join(lines))
+
+    text = "\n".join(report)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(text + "\n")
+
+    if regressed:
+        print(f"{len(regressed)} benchmark(s) regressed beyond "
+              f"tolerance:", file=sys.stderr)
+        for r in regressed:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
