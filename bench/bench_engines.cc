@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 
 #include "analysis/resolve.hh"
@@ -132,6 +133,63 @@ BENCHMARK(BM_Interpreter)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_Vm)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_Native)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_NativeStep);
+
+/** Checkpoint-path costs per engine (sim/checkpoint.hh): the
+ *  advance-then-snapshot pattern a periodic checkpointer pays, and
+ *  restore of a mid-run snapshot. For "native" a snapshot is one
+ *  SNAPSHOT round trip and restore one RESTORE round trip — both
+ *  O(state); pre-protocol, restoring at cycle N replayed all N. */
+void
+BM_Snapshot(benchmark::State &state, const char *engine)
+{
+    if (std::strcmp(engine, "native") == 0 &&
+        !NativeEngine::available()) {
+        state.SkipWithError("no host compiler");
+        return;
+    }
+    SimulationOptions opts;
+    opts.resolved = machine(1); // tiny_computer: non-trivial state
+    opts.engine = engine;
+    opts.config.collectStats = false;
+    Simulation sim(opts);
+    for (auto _ : state) {
+        sim.step();
+        EngineSnapshot snap = sim.snapshot();
+        benchmark::DoNotOptimize(snap.cycle);
+        if (sim.cycle() > (1u << 20))
+            sim.reset();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.SetLabel("tiny_computer, step + snapshot()");
+}
+
+void
+BM_Restore(benchmark::State &state, const char *engine)
+{
+    if (std::strcmp(engine, "native") == 0 &&
+        !NativeEngine::available()) {
+        state.SkipWithError("no host compiler");
+        return;
+    }
+    SimulationOptions opts;
+    opts.resolved = machine(1);
+    opts.engine = engine;
+    opts.config.collectStats = false;
+    Simulation sim(opts);
+    sim.run(1000);
+    EngineSnapshot snap = sim.snapshot();
+    for (auto _ : state)
+        sim.restore(snap);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.SetLabel("tiny_computer, restore mid-run snapshot");
+}
+
+BENCHMARK_CAPTURE(BM_Snapshot, interp, "interp");
+BENCHMARK_CAPTURE(BM_Snapshot, vm, "vm");
+BENCHMARK_CAPTURE(BM_Snapshot, native, "native");
+BENCHMARK_CAPTURE(BM_Restore, interp, "interp");
+BENCHMARK_CAPTURE(BM_Restore, vm, "vm");
+BENCHMARK_CAPTURE(BM_Restore, native, "native");
 
 /** Tracing cost: the sieve machine with a trace sink swallowing
  *  events (isolates formatting from simulation). */

@@ -6,7 +6,9 @@
 #include "analysis/width.hh"
 #include "lang/alu_ops.hh"
 #include "lang/parser.hh"
+#include "lang/writer.hh"
 #include "support/bitops.hh"
+#include "support/serialize.hh"
 
 namespace asim {
 
@@ -274,6 +276,12 @@ ResolvedSpec
 resolveText(std::string_view text, Diagnostics *diag)
 {
     return resolve(parseSpec(text, diag), diag);
+}
+
+uint64_t
+specIdentityHash(const ResolvedSpec &rs)
+{
+    return fnv1a64(writeSpec(rs.spec));
 }
 
 ResolvedExpr

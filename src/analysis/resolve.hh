@@ -154,6 +154,15 @@ ResolvedSpec resolveText(std::string_view text,
  *  (used by tests and tools). */
 ResolvedExpr resolveExpr(const Expr &expr, const ResolvedSpec &rs);
 
+/**
+ * Stable content identity of a resolved specification: the FNV-1a 64
+ * hash of its canonical written form (lang/writer.hh), so the same
+ * machine loaded from a file, from text, or re-serialized hashes
+ * identically. Used as the checkpoint identity (sim/checkpoint.hh)
+ * and as half of the native build cache key (codegen/native.hh).
+ */
+uint64_t specIdentityHash(const ResolvedSpec &rs);
+
 } // namespace asim
 
 #endif // ASIM_ANALYSIS_RESOLVE_HH

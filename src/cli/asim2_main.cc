@@ -12,12 +12,16 @@
  *   --serve              C++ only: also emit the persistent `--serve`
  *                        command loop + state dump (the protocol the
  *                        NativeEngine adapter drives; DESIGN.md §5)
+ *   --spec-hash          print the specification's identity hash
+ *                        (the checkpoint/build-cache key) and exit
  */
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "analysis/resolve.hh"
 #include "codegen/codegen.hh"
 #include "sim/simulation.hh"
 
@@ -29,6 +33,7 @@ main(int argc, char **argv)
     std::string file;
     std::string lang = "pascal";
     std::string outPath;
+    bool specHashOnly = false;
     CodegenOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -47,11 +52,13 @@ main(int argc, char **argv)
         } else if (arg == "--serve") {
             opts.emitServeLoop = true;
             opts.emitStateDump = true;
+        } else if (arg == "--spec-hash") {
+            specHashOnly = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cerr << "usage: asim2c [--lang=pascal|cpp] [-o file]\n"
                       << "              [--no-trace] [--no-optimize]\n"
                       << "              [--fixed-shl] [--serve]\n"
-                      << "              <spec-file>\n";
+                      << "              [--spec-hash] <spec-file>\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option " << arg << "\n";
@@ -77,6 +84,17 @@ main(int argc, char **argv)
 
     try {
         Diagnostics diag;
+        if (specHashOnly) {
+            SimulationOptions sopts;
+            sopts.specFile = file;
+            ResolvedSpec rs = Simulation::loadSpec(sopts, &diag);
+            char buf[19];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          static_cast<unsigned long long>(
+                              specIdentityHash(rs)));
+            std::cout << buf << "\n";
+            return 0;
+        }
         std::cerr << "Reading file " << file << "\n";
         SimulationOptions sopts;
         sopts.specFile = file;

@@ -15,6 +15,16 @@
  *   --fixed-shl          use repaired shift-left semantics
  *   --list-engines       list registered engines and exit
  *
+ * Checkpoints (sim/checkpoint.hh — portable across all engines):
+ *   --save-state=F       write a checkpoint to F when the run ends
+ *   --restore-from=F     restore the checkpoint F before running
+ *                        (--cycles then counts cycles to execute
+ *                        *this* run, on top of the restored cycle)
+ *   --checkpoint-every=N additionally checkpoint to the --save-state
+ *                        file every N cycles mid-run (with
+ *                        --checkpoint-dir in batch mode: per-
+ *                        instance periodic checkpoints)
+ *
  * Batch mode (bulk-parallel execution through sim/batch.hh):
  *   --batch=N            run N independent instances of the spec off
  *                        one shared resolve
@@ -25,6 +35,10 @@
  *                        threads)
  *   --json=F             also write the batch report as JSON to F
  *                        (`-` for stdout)
+ *   --checkpoint-dir=D   leave per-instance checkpoints in D; when D
+ *                        already holds artifacts of an earlier run
+ *                        of the same batch, finished instances are
+ *                        skipped and interrupted ones resume
  * Batch runs print a per-instance summary table instead of a trace
  * and exit 2 when any instance faulted.
  *
@@ -35,6 +49,7 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -52,6 +67,10 @@ usage()
                  "<file>]\n"
               << "                [--stats] [--no-trace] "
                  "[--fixed-shl]\n"
+              << "                [--save-state=<file>] "
+                 "[--restore-from=<file>]\n"
+              << "                [--checkpoint-every=N] "
+                 "[--checkpoint-dir=<dir>]\n"
               << "                [--batch=N | "
                  "--batch-manifest=<file>]\n"
               << "                [--threads=M] [--json=<file>]\n"
@@ -63,13 +82,16 @@ int
 runBatch(const asim::SimulationOptions &opts, const std::string &file,
          int64_t batchCount, const std::string &manifest,
          unsigned threads, int64_t cycles, bool stats,
-         const std::string &jsonPath)
+         const std::string &jsonPath,
+         const std::string &checkpointDir, uint64_t checkpointEvery)
 {
     using namespace asim;
 
     BatchOptions bopts;
     bopts.threads = threads;
     bopts.captureState = false; // report channels only
+    bopts.checkpointDir = checkpointDir;
+    bopts.checkpointEvery = checkpointEvery;
     BatchRunner runner(bopts);
 
     if (!manifest.empty()) {
@@ -85,6 +107,15 @@ runBatch(const asim::SimulationOptions &opts, const std::string &file,
         if (cycles > 0)
             job.cycles = static_cast<uint64_t>(cycles);
         runner.addBatch(job, static_cast<size_t>(batchCount));
+    }
+
+    if (!checkpointDir.empty()) {
+        size_t resumed = runner.resumeFromCheckpoints();
+        if (resumed > 0) {
+            std::cerr << "resuming " << resumed << " of "
+                      << runner.jobCount() << " instances from "
+                      << checkpointDir << "\n";
+        }
     }
 
     BatchResult result = runner.run();
@@ -134,6 +165,10 @@ main(int argc, char **argv)
     std::string manifest;
     unsigned threads = 0;
     std::string jsonPath;
+    std::string saveState;
+    std::string restoreFrom;
+    std::string checkpointDir;
+    uint64_t checkpointEvery = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -158,6 +193,20 @@ main(int argc, char **argv)
             threads = static_cast<unsigned>(t);
         } else if (arg.rfind("--json=", 0) == 0) {
             jsonPath = arg.substr(7);
+        } else if (arg.rfind("--save-state=", 0) == 0) {
+            saveState = arg.substr(13);
+        } else if (arg.rfind("--restore-from=", 0) == 0) {
+            restoreFrom = arg.substr(15);
+        } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+            checkpointDir = arg.substr(17);
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            long long n = std::atoll(arg.c_str() + 19);
+            if (n <= 0) {
+                std::cerr
+                    << "--checkpoint-every wants a positive count\n";
+                return 1;
+            }
+            checkpointEvery = static_cast<uint64_t>(n);
         } else if (arg == "--io=interactive") {
             opts.ioMode = IoMode::Interactive;
             interactive = true;
@@ -211,6 +260,11 @@ main(int argc, char **argv)
             usage();
             return 1;
         }
+        if (!saveState.empty() || !restoreFrom.empty()) {
+            std::cerr << "--save-state/--restore-from are single-run "
+                         "flags; batches use --checkpoint-dir\n";
+            return 1;
+        }
         // Batch instances run concurrently; without an explicit
         // --io choice they run with null I/O, never interactive.
         if (!ioFlagSeen)
@@ -218,7 +272,7 @@ main(int argc, char **argv)
         try {
             return runBatch(opts, file, std::max<int64_t>(batchCount, 1),
                             manifest, threads, cycles, stats,
-                            jsonPath);
+                            jsonPath, checkpointDir, checkpointEvery);
         } catch (const SpecError &e) {
             std::cerr << e.what() << "\n";
             return 1;
@@ -226,6 +280,17 @@ main(int argc, char **argv)
             std::cerr << e.what() << "\n";
             return 1;
         }
+    }
+
+    if (!checkpointDir.empty()) {
+        std::cerr << "--checkpoint-dir is a batch flag; single runs "
+                     "use --save-state/--restore-from\n";
+        return 1;
+    }
+    if (checkpointEvery != 0 && saveState.empty()) {
+        std::cerr << "--checkpoint-every needs --save-state (the "
+                     "file the periodic checkpoints go to)\n";
+        return 1;
     }
 
     try {
@@ -236,6 +301,12 @@ main(int argc, char **argv)
             std::cerr << w << "\n";
         std::cerr << sim.resolved().spec.comps.size()
                   << " components read.\n";
+
+        if (!restoreFrom.empty()) {
+            sim.restoreCheckpoint(restoreFrom);
+            std::cerr << "restored " << restoreFrom << " at cycle "
+                      << sim.cycle() << "\n";
+        }
 
         int64_t todo = cycles;
         if (todo < 0)
@@ -251,8 +322,22 @@ main(int argc, char **argv)
             ++todo; // thesis loop is inclusive
         }
 
+        // One run step, checkpointing every checkpointEvery cycles
+        // when asked to.
+        auto runChunked = [&](uint64_t n) {
+            while (n > 0) {
+                uint64_t chunk = n;
+                if (checkpointEvery != 0)
+                    chunk = std::min(chunk, checkpointEvery);
+                sim.run(chunk);
+                n -= chunk;
+                if (checkpointEvery != 0 && n > 0)
+                    sim.saveCheckpoint(saveState);
+            }
+        };
+
         while (todo > 0) {
-            sim.run(static_cast<uint64_t>(todo));
+            runChunked(static_cast<uint64_t>(todo));
             // Explicit --cycles or a scripted/null run: no
             // interactive continue.
             if (cycles >= 0 || !interactive)
@@ -264,6 +349,11 @@ main(int argc, char **argv)
             todo = target - static_cast<int64_t>(sim.cycle()) + 1;
         }
 
+        if (!saveState.empty()) {
+            sim.saveCheckpoint(saveState);
+            std::cerr << "saved checkpoint " << saveState
+                      << " at cycle " << sim.cycle() << "\n";
+        }
         if (stats)
             std::cerr << sim.stats().summary();
         return 0;

@@ -52,11 +52,16 @@ struct CodegenOptions
     /** C++ only: emit the `--serve` persistent command loop. A
      *  simulator built with this option, launched as
      *  `simulator --serve`, reads line-oriented commands on stdin
-     *  (`INPUT <n>`, `RUN <n>`, `RESET`, `STATE`, `STATS`, `QUIT`)
-     *  and answers each with `OK <cycle> <ns> <bytes>\n` followed by
-     *  exactly <bytes> of payload on stdout — the framing the
-     *  NativeEngine adapter speaks (DESIGN.md §5). The one-shot
-     *  `simulator [cycles]` entry point is kept unchanged. */
+     *  (`INPUT <n>`, `RUN <n>`, `RESET`, `STATE`, `SNAPSHOT`,
+     *  `RESTORE <n>`, `STATS`, `QUIT`) and answers each with
+     *  `OK <cycle> <ns> <bytes>\n` followed by exactly <bytes> of
+     *  payload on stdout — the framing the NativeEngine adapter
+     *  speaks (DESIGN.md §5). SNAPSHOT is STATE plus the scripted-
+     *  input cursor (`STATE_I <ops> <bytepos>`); RESTORE takes a
+     *  length-framed payload in the same line format (plus
+     *  `STATE_CYC <n>`) and overwrites state, cycle, and input
+     *  cursor in O(state). The one-shot `simulator [cycles]` entry
+     *  point is kept unchanged. */
     bool emitServeLoop = false;
 
     /** ALU shift-left semantics baked into the generated dologic. */

@@ -12,9 +12,14 @@
  *
  * With CodegenOptions::emitServeLoop the unit additionally carries
  * the persistent `--serve` command loop (INPUT/RUN/RESET/STATE/
- * STATS/QUIT with length-framed responses) that the NativeEngine
- * adapter drives over pipes — see DESIGN.md §5. The one-shot
- * `simulator [cycles]` entry point is unchanged either way.
+ * SNAPSHOT/RESTORE/STATS/QUIT with length-framed responses) that the
+ * NativeEngine adapter drives over pipes — see DESIGN.md §5.
+ * SNAPSHOT extends the STATE dump with the scripted-input cursor;
+ * RESTORE overwrites the whole machine state, cycle counter, and
+ * input cursor from a length-framed payload in the same line format,
+ * making adapter-side restore O(state) instead of replay-from-zero.
+ * The one-shot `simulator [cycles]` entry point is unchanged either
+ * way.
  *
  * Compile the output with `g++ -O2 -fwrapv` — the library's value
  * model is wrapping 32-bit two's-complement arithmetic, and -fwrapv
@@ -54,6 +59,7 @@ class CppBackend
     void emitMemoryTraces(const MemDesc &m);
     void emitDoCycle();
     void emitStateDump();
+    void emitRestoreState();
     void emitServeLoop();
     void emitMain();
 

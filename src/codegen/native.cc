@@ -1,13 +1,18 @@
 #include "codegen/native.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #include "codegen/cpp_backend.hh"
 #include "support/logging.hh"
+#include "support/serialize.hh"
 #include "support/text.hh"
 
 namespace asim {
@@ -49,6 +54,24 @@ shell(const std::string &cmd)
     return rc;
 }
 
+std::atomic<uint64_t> compileCount{0};
+
+/** Cache key: spec identity x every codegen knob that changes the
+ *  emitted program. */
+uint64_t
+optionsFingerprint(const CodegenOptions &o)
+{
+    uint64_t bits = 0;
+    bits |= o.inlineConstAlu ? 1u : 0u;
+    bits |= o.specializeConstMem ? 2u : 0u;
+    bits |= o.emitTrace ? 4u : 0u;
+    bits |= o.emitDataLatchQuirk ? 8u : 0u;
+    bits |= o.emitStateDump ? 16u : 0u;
+    bits |= o.emitServeLoop ? 32u : 0u;
+    bits |= o.aluSemantics == AluSemantics::Thesis ? 64u : 0u;
+    return fnv1a64(o.programName, bits);
+}
+
 } // namespace
 
 bool
@@ -86,6 +109,8 @@ compileSpec(const ResolvedSpec &rs, const CodegenOptions &opts,
     build.generatedPath = workDir + "/simulator.cc";
     build.binaryPath = workDir + "/simulator";
 
+    compileCount.fetch_add(1, std::memory_order_relaxed);
+
     // Phase 1: generate code (Figure 5.1 "Generate code").
     auto g0 = Clock::now();
     std::string code = generateCpp(rs, opts);
@@ -119,6 +144,58 @@ compileSpecShared(const ResolvedSpec &rs, const CodegenOptions &opts,
             }
             delete b;
         });
+}
+
+std::shared_ptr<const NativeBuild>
+compileSpecCached(const ResolvedSpec &rs, const CodegenOptions &opts,
+                  uint64_t specHash)
+{
+    using Key = std::pair<uint64_t, uint64_t>;
+    // Weak map: any build still referenced by an engine is reused for
+    // free. Strong ring: the most recent few builds survive the gap
+    // between one job dropping its engines and the next identical job
+    // constructing its own (sequential manifest rows).
+    static std::mutex mu;
+    static std::map<Key, std::weak_ptr<const NativeBuild>> cache;
+    static std::deque<std::shared_ptr<const NativeBuild>> recent;
+    constexpr size_t kKeepRecent = 8;
+
+    const Key key{specHash, optionsFingerprint(opts)};
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            if (auto hit = it->second.lock())
+                return hit;
+            cache.erase(it);
+        }
+    }
+
+    // Compile outside the lock: a long host-compiler run must not
+    // serialize unrelated cache hits. Two threads racing on the same
+    // key may both compile; the second insert wins the map and both
+    // builds stay valid for their holders.
+    std::shared_ptr<const NativeBuild> build =
+        compileSpecShared(rs, opts);
+
+    std::lock_guard<std::mutex> lock(mu);
+    cache[key] = build;
+    recent.push_back(build);
+    while (recent.size() > kKeepRecent)
+        recent.pop_front();
+    for (auto it = cache.begin(); it != cache.end();) {
+        if (it->second.expired())
+            it = cache.erase(it);
+        else
+            ++it;
+    }
+    return build;
+}
+
+uint64_t
+nativeCompileCount()
+{
+    return compileCount.load(std::memory_order_relaxed);
 }
 
 NativeRun

@@ -93,6 +93,28 @@ compileSpecShared(const ResolvedSpec &rs, const CodegenOptions &opts = {},
                   std::string workDir = "");
 
 /**
+ * compileSpecShared() behind a process-wide build cache keyed by
+ * (spec identity hash, codegen options): repeated construction of
+ * native engines over the same machine — heterogeneous batch
+ * manifests with repeated rows in particular — share one
+ * generate+compile instead of paying it per job. The cache holds
+ * weak references plus a small ring of strong ones, so builds stay
+ * alive across back-to-back jobs but the cache never pins unbounded
+ * disk. Thread-safe. Always compiles into a cache-owned temp dir;
+ * callers that need a specific workDir use compileSpecShared().
+ *
+ * @param specHash analysis/resolve.hh specIdentityHash(rs); taken as
+ *        a parameter so the caller can reuse its own computation
+ */
+std::shared_ptr<const NativeBuild>
+compileSpecCached(const ResolvedSpec &rs, const CodegenOptions &opts,
+                  uint64_t specHash);
+
+/** Total generate+compile pipelines this process has run (test and
+ *  diagnostics hook for the build cache's hit rate). */
+uint64_t nativeCompileCount();
+
+/**
  * Execute a built simulator for `cycles` (the program runs cycles+1
  * loop iterations, thesis semantics). Does not throw on a nonzero
  * exit: the caller inspects NativeRun::exitCode/stderrText.

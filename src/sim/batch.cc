@@ -9,7 +9,9 @@
 #include <memory>
 #include <sstream>
 
+#include "sim/checkpoint.hh"
 #include "sim/trace.hh"
+#include "support/serialize.hh"
 #include "support/thread_pool.hh"
 
 namespace asim {
@@ -58,6 +60,19 @@ jsonEscape(const std::string &s)
         }
     }
     return out;
+}
+
+std::string
+readFileOr(const std::string &path, bool *found = nullptr)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (found)
+        *found = static_cast<bool>(in);
+    if (!in)
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
 }
 
 std::string
@@ -114,6 +129,8 @@ BatchResult::summaryTable() const
             os << "watchpoint after " << r.cyclesRun;
         else
             os << "ok";
+        if (r.resumed && !r.faulted)
+            os << " (resumed)";
         os << "\n";
     }
     os << instances.size() << " instances, " << threads
@@ -152,6 +169,7 @@ BatchResult::json() const
            << ", \"cycles_run\": " << r.cyclesRun
            << ", \"watchpoint_hit\": "
            << (r.watchpointHit ? "true" : "false")
+           << ", \"resumed\": " << (r.resumed ? "true" : "false")
            << ", \"faulted\": " << (r.faulted ? "true" : "false")
            << ", \"fault\": \"" << jsonEscape(r.fault)
            << "\", \"io_text\": \"" << jsonEscape(r.ioText)
@@ -208,6 +226,48 @@ BatchRunner::addBatch(BatchJob job, size_t count)
     return first;
 }
 
+std::string
+BatchRunner::instancePath(size_t index, const char *ext) const
+{
+    return (std::filesystem::path(opts_.checkpointDir) /
+            ("inst-" + std::to_string(index) + ext))
+        .string();
+}
+
+size_t
+BatchRunner::resumeFromCheckpoints()
+{
+    if (opts_.checkpointDir.empty()) {
+        throw SimError("resumeFromCheckpoints() needs "
+                       "BatchOptions::checkpointDir");
+    }
+    plans_.assign(jobs_.size(), ResumePlan{});
+    size_t affected = 0;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        ResumePlan &plan = plans_[i];
+        bool found = false;
+        std::string marker = readFileOr(instancePath(i, ".done"),
+                                        &found);
+        if (found) {
+            unsigned long long cycles = 0;
+            int watch = 0;
+            if (std::sscanf(marker.c_str(), "%llu %d", &cycles,
+                            &watch) != 2) {
+                throw SimError("corrupt batch completion marker " +
+                               instancePath(i, ".done"));
+            }
+            plan.done = true;
+            plan.doneCycles = cycles;
+            plan.doneWatch = watch != 0;
+        }
+        plan.hasCheckpoint = std::filesystem::exists(
+            instancePath(i, ".ckpt"));
+        if (plan.done || plan.hasCheckpoint)
+            ++affected;
+    }
+    return affected;
+}
+
 BatchResult
 BatchRunner::run()
 {
@@ -219,20 +279,118 @@ BatchRunner::run()
         std::ostringstream io;
         std::ostringstream trace;
         std::unique_ptr<StreamTrace> traceSink;
-        uint64_t budget = 0;
+        uint64_t budget = 0;  ///< absolute target cycle
+        bool skip = false;    ///< finished in a prior run
     };
+
+    const bool checkpointing = !opts_.checkpointDir.empty();
+    if (opts_.checkpointEvery != 0 && !checkpointing) {
+        throw SimError(
+            "BatchOptions::checkpointEvery needs checkpointDir");
+    }
+    if (checkpointing)
+        std::filesystem::create_directories(opts_.checkpointDir);
+    if (plans_.size() < jobs_.size())
+        plans_.resize(jobs_.size());
 
     BatchResult result;
     result.instances.resize(jobs_.size());
     std::vector<Work> works(jobs_.size());
 
+    // Persist one instance's progress. Write order is the crash
+    // contract: output text (tagged with its cycle) first, the
+    // checkpoint second, the completion marker last. A kill between
+    // writes leaves the .io tag and the checkpoint cycle
+    // disagreeing — which resume *detects* and answers by
+    // restarting that instance from zero (correctness over saved
+    // progress), never by stitching mismatched halves together.
+    auto persist = [&](size_t i, Work &w, const InstanceResult &r,
+                       bool complete) {
+        writeFileAtomic(instancePath(i, ".io"),
+                        std::to_string(w.sim->cycle()) + "\n" +
+                            w.io.str());
+        w.sim->saveCheckpoint(instancePath(i, ".ckpt"));
+        if (complete) {
+            writeFileAtomic(instancePath(i, ".done"),
+                            std::to_string(w.sim->cycle()) + " " +
+                                (r.watchpointHit ? "1" : "0") + "\n");
+        }
+    };
+
+    // The .io artifact: "<cycle>\n" then the output text verbatim.
+    // Returns false when the file is missing/corrupt or its tag does
+    // not match `cycle`.
+    auto loadIoAt = [&](size_t i, uint64_t cycle, std::string *text) {
+        bool found = false;
+        std::string blob = readFileOr(instancePath(i, ".io"), &found);
+        if (!found)
+            return false;
+        char *end = nullptr;
+        unsigned long long tag = std::strtoull(blob.c_str(), &end, 10);
+        if (end == blob.c_str() || *end != '\n' || tag != cycle)
+            return false;
+        *text = blob.substr(
+            static_cast<size_t>(end + 1 - blob.c_str()));
+        return true;
+    };
+
     // Construction is serial: any SpecError/SimError here is a batch
     // configuration problem and propagates to the caller.
     for (size_t i = 0; i < jobs_.size(); ++i) {
         const BatchJob &job = jobs_[i];
+        const ResumePlan &plan = plans_[i];
         Work &w = works[i];
+        InstanceResult &r = result.instances[i];
+        r.index = i;
+        r.label = job.label;
+        r.engine = job.options.engine;
+
+        // Budget resolution needs only the resolved spec; reuse the
+        // shared one when the job carries it.
+        std::shared_ptr<const ResolvedSpec> rs = job.options.resolved;
+        if (!rs) {
+            rs = std::make_shared<const ResolvedSpec>(
+                Simulation::loadSpec(job.options));
+        }
+        int64_t budget = static_cast<int64_t>(job.cycles);
+        if (budget == 0 && rs->spec.cyclesSpecified)
+            budget = rs->spec.thesisIterations();
+        if (budget <= 0) {
+            throw SimError("batch job " + std::to_string(i) + " (" +
+                           job.label +
+                           "): no cycle budget — the spec names no "
+                           "cycle count and none was given");
+        }
+        w.budget = static_cast<uint64_t>(budget);
+        r.cyclesRequested = w.budget;
+
+        // A prior run finished this instance (and its budget covers
+        // ours): reload its recorded results instead of re-running.
+        if (plan.done &&
+            (plan.doneWatch || plan.doneCycles >= w.budget)) {
+            EngineSnapshot snap =
+                loadCheckpoint(instancePath(i, ".ckpt"), *rs);
+            if (!loadIoAt(i, snap.cycle, &r.ioText)) {
+                throw SimError("batch checkpoint artifacts for "
+                               "instance " + std::to_string(i) +
+                               " are inconsistent (" +
+                               instancePath(i, ".io") +
+                               " does not match the checkpoint)");
+            }
+            w.skip = true;
+            r.resumed = true;
+            r.cyclesRun = plan.doneCycles;
+            r.watchpointHit = plan.doneWatch;
+            r.stats = snap.stats;
+            if (opts_.captureState)
+                r.state = snap.state;
+            continue;
+        }
 
         SimulationOptions opts = job.options;
+        opts.resolved = rs;
+        opts.specFile.clear();
+        opts.specText.clear();
         opts.ioOut = &w.io;
         opts.traceStream = nullptr;
         if (job.captureTrace && !opts.config.trace) {
@@ -241,22 +399,23 @@ BatchRunner::run()
         }
         w.sim = std::make_unique<Simulation>(opts);
 
-        int64_t budget = static_cast<int64_t>(job.cycles);
-        if (budget == 0)
-            budget = w.sim->defaultCycles();
-        if (budget <= 0) {
-            throw SimError("batch job " + std::to_string(i) + " (" +
-                           job.label +
-                           "): no cycle budget — the spec names no "
-                           "cycle count and none was given");
+        // Interrupted (or budget-extended) instance: restore the
+        // checkpoint and preload the output it had produced, so the
+        // continuation's channels match an uninterrupted run's. A
+        // kill between the .io and .ckpt writes leaves their cycles
+        // disagreeing — then this instance restarts from zero
+        // rather than resume with torn output.
+        if (plan.hasCheckpoint) {
+            EngineSnapshot snap =
+                loadCheckpoint(instancePath(i, ".ckpt"), *rs);
+            std::string saved;
+            if (loadIoAt(i, snap.cycle, &saved)) {
+                w.sim->restore(snap);
+                w.io.str(saved);
+                w.io.seekp(0, std::ios::end);
+                r.resumed = true;
+            }
         }
-        w.budget = static_cast<uint64_t>(budget);
-
-        InstanceResult &r = result.instances[i];
-        r.index = i;
-        r.label = job.label;
-        r.engine = opts.engine;
-        r.cyclesRequested = w.budget;
     }
 
     ThreadPool pool(opts_.threads);
@@ -267,18 +426,36 @@ BatchRunner::run()
         const BatchJob &job = jobs_[i];
         Work &w = works[i];
         InstanceResult &r = result.instances[i];
+        if (w.skip)
+            return;
 
         auto t0 = std::chrono::steady_clock::now();
         try {
             if (!job.watchName.empty()) {
-                r.cyclesRun = w.sim->runUntilValue(
-                    job.watchName, job.watchValue, w.budget);
+                uint64_t left = w.budget > w.sim->cycle()
+                                    ? w.budget - w.sim->cycle()
+                                    : 0;
+                w.sim->runUntilValue(job.watchName, job.watchValue,
+                                     left);
                 r.watchpointHit =
                     w.sim->value(job.watchName) == job.watchValue;
+                r.cyclesRun = w.sim->cycle();
             } else {
-                w.sim->run(w.budget);
-                r.cyclesRun = w.budget;
+                while (w.sim->cycle() < w.budget) {
+                    uint64_t chunk = w.budget - w.sim->cycle();
+                    if (checkpointing && opts_.checkpointEvery != 0) {
+                        chunk = std::min(chunk,
+                                         opts_.checkpointEvery);
+                    }
+                    w.sim->run(chunk);
+                    if (checkpointing &&
+                        w.sim->cycle() < w.budget)
+                        persist(i, w, r, /*complete=*/false);
+                }
+                r.cyclesRun = w.sim->cycle();
             }
+            if (checkpointing)
+                persist(i, w, r, /*complete=*/true);
         } catch (const SimError &e) {
             r.faulted = true;
             r.fault = e.what();

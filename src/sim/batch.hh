@@ -18,7 +18,12 @@
  *    and merges results **deterministically**: InstanceResults come
  *    back ordered by instance index with contents (state, trace,
  *    I/O text, statistics) byte-identical under any thread count —
- *    the property tests/sim/batch_test.cc enforces.
+ *    the property tests/sim/batch_test.cc enforces;
+ *  - with BatchOptions::checkpointDir, instances leave durable
+ *    checkpoints (sim/checkpoint.hh) as they run, and
+ *    resumeFromCheckpoints() lets a re-created runner — after a
+ *    crash, a kill, or a budget extension — re-run only the
+ *    instances that never finished.
  *
  * What is shared between concurrently running instances is immutable
  * (ResolvedSpec, Program, NativeBuild — see DESIGN.md §7);
@@ -83,6 +88,8 @@ struct InstanceResult
     uint64_t cyclesRequested = 0;
     uint64_t cyclesRun = 0;
     bool watchpointHit = false;
+    bool resumed = false;      ///< continued from / finished in a
+                               ///< prior run's checkpoints
     bool faulted = false;
     std::string fault;         ///< SimError text when faulted
     std::string ioText;        ///< scripted outputs, thesis format
@@ -119,6 +126,20 @@ struct BatchOptions
     /** Keep each instance's final MachineState in the result (memory
      *  proportional to batch size x spec size when on). */
     bool captureState = true;
+
+    /** When set, every instance leaves durable artifacts here
+     *  (sim/checkpoint.hh): `inst-<i>.ckpt` (latest checkpoint),
+     *  `inst-<i>.io` (scripted output up to that checkpoint), and —
+     *  on completion — `inst-<i>.done`. A later runner with the
+     *  same job list calls resumeFromCheckpoints() to skip finished
+     *  instances and continue interrupted ones. Created on demand. */
+    std::string checkpointDir;
+
+    /** Cycles between periodic mid-run checkpoints (plain-budget
+     *  jobs; watchpoint jobs checkpoint only on completion).
+     *  0 = checkpoint only when an instance finishes. Requires
+     *  checkpointDir. */
+    uint64_t checkpointEvery = 0;
 };
 
 /** See file comment. */
@@ -173,9 +194,42 @@ class BatchRunner
                         const SimulationOptions &defaults,
                         uint64_t defaultCycles = 0);
 
+    /**
+     * Resume support: scan BatchOptions::checkpointDir for the
+     * artifacts a previous run of this same job list left behind
+     * (a *killed* run leaves checkpoints without `.done` markers;
+     * a finished one leaves both). Instances with a `.done` marker
+     * satisfying their budget are not re-run — their recorded
+     * results are reloaded; instances with a checkpoint restore it
+     * and execute only the remaining cycles. Output text saved at
+     * the last checkpoint is preloaded, so a resumed instance's
+     * ioText matches an uninterrupted run's.
+     *
+     * Call after every job is added and before run(). Jobs must
+     * match the earlier run's (the checkpoint spec-identity hash is
+     * verified per instance; a mismatch faults construction).
+     *
+     * @return instances that will skip or shorten their run
+     * @throws SimError when checkpointDir is unset or a marker file
+     *         is unreadable
+     */
+    size_t resumeFromCheckpoints();
+
   private:
+    /** What resumeFromCheckpoints() found for one instance. */
+    struct ResumePlan
+    {
+        bool done = false;       ///< `.done` marker present
+        uint64_t doneCycles = 0; ///< cycles recorded in the marker
+        bool doneWatch = false;  ///< watchpoint flag in the marker
+        bool hasCheckpoint = false;
+    };
+
+    std::string instancePath(size_t index, const char *ext) const;
+
     BatchOptions opts_;
     std::vector<BatchJob> jobs_;
+    std::vector<ResumePlan> plans_;
 };
 
 } // namespace asim

@@ -42,6 +42,7 @@ Engine::snapshot() const
     snap.state = state_;
     snap.cycle = cycle_;
     snap.stats = stats_;
+    snap.ioValues = io_->inputsConsumed();
     return snap;
 }
 
@@ -70,6 +71,10 @@ Engine::restore(const EngineSnapshot &snap)
     state_ = snap.state;
     cycle_ = snap.cycle;
     stats_ = snap.stats;
+    // Best-effort for devices that cannot seek (interactive streams):
+    // the machine state is restored either way, matching the old
+    // behavior for un-scripted runs.
+    io_->seekInputs(snap.ioValues);
 }
 
 void

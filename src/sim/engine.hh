@@ -46,16 +46,33 @@ struct EngineConfig
     bool collectStats = true;
 };
 
+/** "This cursor field was not captured" (e.g. the byte cursor of an
+ *  in-process snapshot, which has no byte-oriented script). */
+inline constexpr uint64_t kNoIoCursor = ~0ull;
+
 /** A complete capture of an engine's execution at a cycle boundary:
- *  machine state, cycle counter, and statistics. Snapshots taken from
- *  one engine may be restored into any engine running the same
- *  resolved specification (the equivalence property guarantees the
- *  continuation is identical). */
+ *  machine state, cycle counter, statistics, and the scripted-input
+ *  cursor. Snapshots taken from one engine may be restored into any
+ *  engine running the same resolved specification (the equivalence
+ *  property guarantees the continuation is identical). */
 struct EngineSnapshot
 {
     MachineState state;
     uint64_t cycle = 0;
     SimStats stats;
+
+    /** Scripted input *values* consumed when the snapshot was taken
+     *  (IoDevice::inputsConsumed(), or the serve child's input-op
+     *  count); restore seeks the script here so the continuation
+     *  reads the same inputs an uninterrupted run would. */
+    uint64_t ioValues = 0;
+
+    /** Byte position into an out-of-process engine's rendered stdin
+     *  text (the serve child's cursor); kNoIoCursor for in-process
+     *  snapshots. Restoring into a native engine prefers this and
+     *  falls back to skipping `ioValues` whitespace-separated tokens
+     *  of its own script. */
+    uint64_t ioBytes = kNoIoCursor;
 };
 
 /**
@@ -87,14 +104,19 @@ class Engine
      *  advance in one batch instead of cycle by cycle. */
     virtual void run(uint64_t cycles);
 
-    /** Capture state + cycle + statistics for a later restore(). */
-    EngineSnapshot snapshot() const;
+    /** Capture state + cycle + statistics + input cursor for a later
+     *  restore() (possibly in another engine or — serialized through
+     *  sim/checkpoint.hh — another process). Virtual so engines whose
+     *  authoritative cursor lives elsewhere (the native adapter's
+     *  child) can fill the I/O fields from their own source. */
+    virtual EngineSnapshot snapshot() const;
 
     /** Adopt a snapshot taken from an engine running the same
-     *  specification; the continuation is cycle-for-cycle identical
-     *  to an uninterrupted run. @throws SimError when the snapshot's
-     *  shape does not match this specification, or when the engine
-     *  cannot adopt external state (the native adapter). */
+     *  specification — any engine, including across the process
+     *  boundary (the native adapter ships it to its child as one
+     *  RESTORE command): the continuation is cycle-for-cycle
+     *  identical to an uninterrupted run. @throws SimError when the
+     *  snapshot's shape does not match this specification */
     virtual void restore(const EngineSnapshot &snap);
 
     /** Cycles executed since the last reset. */

@@ -1,5 +1,6 @@
 #include "sim/io.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace asim {
@@ -41,11 +42,17 @@ StreamIo::output(int32_t address, int32_t data)
 int32_t
 VectorIo::input(int32_t)
 {
-    if (inputs_.empty())
+    if (pos_ >= inputs_.size())
         return 0;
-    int32_t v = inputs_.front();
-    inputs_.pop_front();
-    return v;
+    return inputs_[pos_++];
+}
+
+bool
+VectorIo::seekInputs(uint64_t consumed)
+{
+    pos_ = static_cast<size_t>(
+        std::min<uint64_t>(consumed, inputs_.size()));
+    return true;
 }
 
 void
@@ -56,17 +63,23 @@ VectorIo::output(int32_t address, int32_t data)
 }
 
 ScriptIo::ScriptIo(std::vector<int32_t> inputs, std::ostream &out)
-    : inputs_(inputs.begin(), inputs.end()), out_(&out)
+    : inputs_(std::move(inputs)), out_(&out)
 {}
 
 int32_t
 ScriptIo::input(int32_t)
 {
-    if (inputs_.empty())
+    if (pos_ >= inputs_.size())
         return 0;
-    int32_t v = inputs_.front();
-    inputs_.pop_front();
-    return v;
+    return inputs_[pos_++];
+}
+
+bool
+ScriptIo::seekInputs(uint64_t consumed)
+{
+    pos_ = static_cast<size_t>(
+        std::min<uint64_t>(consumed, inputs_.size()));
+    return true;
 }
 
 void

@@ -14,7 +14,6 @@
 #define ASIM_SIM_IO_HH
 
 #include <cstdint>
-#include <deque>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -33,6 +32,22 @@ class IoDevice
 
     /** Memory operation 3: consume an output value for `address`. */
     virtual void output(int32_t address, int32_t data) = 0;
+
+    /// @{ Serialize hooks (snapshot/checkpoint support).
+    /** Input values consumed from a finite script so far; reads past
+     *  the end of the script do not advance the cursor. Devices with
+     *  no seekable input (streams) report 0. */
+    virtual uint64_t inputsConsumed() const { return 0; }
+
+    /** Reposition the input cursor to `consumed` values from the
+     *  start (clamped to the script length). @return false when this
+     *  device cannot seek — snapshot restore is then best-effort for
+     *  I/O, exactly as interactive input implies. */
+    virtual bool seekInputs(uint64_t consumed)
+    {
+        return consumed == 0;
+    }
+    /// @}
 };
 
 /** Discards output, supplies zero input. */
@@ -41,6 +56,7 @@ class NullIo : public IoDevice
   public:
     int32_t input(int32_t) override { return 0; }
     void output(int32_t, int32_t) override {}
+    bool seekInputs(uint64_t) override { return true; }
 };
 
 /**
@@ -78,6 +94,8 @@ class VectorIo : public IoDevice
 
     int32_t input(int32_t address) override;
     void output(int32_t address, int32_t data) override;
+    uint64_t inputsConsumed() const override { return pos_; }
+    bool seekInputs(uint64_t consumed) override;
 
     const std::vector<std::pair<int32_t, int32_t>> &
     outputs() const
@@ -95,12 +113,14 @@ class VectorIo : public IoDevice
     clear()
     {
         inputs_.clear();
+        pos_ = 0;
         outputs_.clear();
         text_.clear();
     }
 
   private:
-    std::deque<int32_t> inputs_;
+    std::vector<int32_t> inputs_;
+    size_t pos_ = 0; ///< next input to serve
     std::vector<std::pair<int32_t, int32_t>> outputs_;
     std::string text_;
 };
@@ -121,12 +141,15 @@ class ScriptIo : public IoDevice
 
     int32_t input(int32_t address) override;
     void output(int32_t address, int32_t data) override;
+    uint64_t inputsConsumed() const override { return pos_; }
+    bool seekInputs(uint64_t consumed) override;
 
     /** Inputs not yet consumed. */
-    size_t remainingInputs() const { return inputs_.size(); }
+    size_t remainingInputs() const { return inputs_.size() - pos_; }
 
   private:
-    std::deque<int32_t> inputs_;
+    std::vector<int32_t> inputs_;
+    size_t pos_ = 0; ///< next input to serve
     std::ostream *out_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/native_engine.hh"
 
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +34,26 @@ describeWaitStatus(int status)
     if (WIFSIGNALED(status))
         return "killed by signal " + std::to_string(WTERMSIG(status));
     return "wait status " + std::to_string(status);
+}
+
+/** Byte offset just past the first `tokens` whitespace-separated
+ *  tokens of `text` — how far a serve child that consumed that many
+ *  integer inputs has advanced its script cursor. */
+size_t
+tokenOffset(std::string_view text, uint64_t tokens)
+{
+    size_t pos = 0;
+    for (uint64_t i = 0; i < tokens; ++i) {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == text.size())
+            break;
+        while (pos < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+    return pos;
 }
 
 } // namespace
@@ -194,6 +215,8 @@ NativeEngine::reset()
     lastRunSeconds_ = 0;
     lastSimSeconds_ = 0;
     stateDirty_ = false;
+    ioOps_ = 0;
+    ioBytes_ = 0;
     if (child_.running()) {
         try {
             exchange("RESET\n");
@@ -231,6 +254,7 @@ NativeEngine::run(uint64_t cycles)
     if (cfg_.collectStats)
         stats_.cycles += cycles;
     cycle_ += cycles;
+    runCommandCycles_ += cycles;
     stateDirty_ = true;
 }
 
@@ -250,39 +274,96 @@ NativeEngine::refreshState() const
                        " was fetched; call reset() to relaunch it");
     }
     auto *self = const_cast<NativeEngine *>(this);
-    Reply r = self->exchange("STATE\n");
+    Reply r = self->exchange("SNAPSHOT\n");
     self->parseStateDump(r.payload);
     stateDirty_ = false;
+}
+
+EngineSnapshot
+NativeEngine::snapshot() const
+{
+    EngineSnapshot snap = Engine::snapshot(); // refreshes the mirror
+    snap.ioValues = ioOps_;
+    snap.ioBytes = ioBytes_;
+    return snap;
 }
 
 void
 NativeEngine::restore(const EngineSnapshot &snap)
 {
     checkSnapshotShape(snap);
-    // Restore-by-replay: the generated program is deterministic and
-    // RESET rewinds the scripted input, so re-running to the
-    // snapshot's cycle reproduces the state a same-spec, same-input
-    // engine had there. Trace sinks and the echo stream are muted
-    // while replaying; the verification below catches snapshots that
-    // came from a different input script or machine history.
-    reset();
-    if (snap.cycle > 0) {
-        replaying_ = true;
-        try {
-            run(snap.cycle);
-        } catch (...) {
-            replaying_ = false;
-            throw;
+    uint64_t bytes = snap.ioBytes;
+    if (bytes == kNoIoCursor) {
+        // In-process snapshots carry no byte cursor: position the
+        // script by skipping the consumed input values as tokens
+        // (exactly where the child's integer input would stand).
+        bytes = tokenOffset(opts_.stdinText, snap.ioValues);
+    } else if (bytes > opts_.stdinText.size()) {
+        // Validated before any child state is touched: a refused
+        // snapshot must leave a down engine down and a live one at
+        // its current timeline.
+        throw SimError("snapshot input cursor (byte " +
+                       std::to_string(bytes) +
+                       ") lies beyond this engine's input script (" +
+                       std::to_string(opts_.stdinText.size()) +
+                       " bytes)");
+    }
+
+    // Protocol-native restore: ship the snapshot's machine state,
+    // cycle counter, and input cursor to the child as one RESTORE
+    // payload (the inverse of the SNAPSHOT dump). O(state), no
+    // replay — and a valid recovery path for a down child, since
+    // nothing of the old timeline survives it.
+    down_ = false;
+    ensureChild();
+
+    std::string payload;
+    payload += "STATE_CYC " + std::to_string(snap.cycle) + "\n";
+    payload += "STATE_I " + std::to_string(snap.ioValues) + " " +
+               std::to_string(bytes) + "\n";
+    for (size_t i = 0; i < snap.state.vars.size(); ++i) {
+        payload += "STATE_V " + std::to_string(i) + " " +
+                   std::to_string(snap.state.vars[i]) + "\n";
+    }
+    for (size_t i = 0; i < snap.state.mems.size(); ++i) {
+        const MemoryState &m = snap.state.mems[i];
+        payload += "STATE_M " + std::to_string(i) + " " +
+                   std::to_string(m.temp) + " " +
+                   std::to_string(m.adr) + " " +
+                   std::to_string(m.opn) + "\n";
+        for (size_t c = 0; c < m.cells.size(); ++c) {
+            payload += "STATE_C " + std::to_string(i) + " " +
+                       std::to_string(c) + " " +
+                       std::to_string(m.cells[c]) + "\n";
         }
-        replaying_ = false;
     }
-    refreshState();
-    if (!(state_ == snap.state)) {
-        throw SimError("native restore-by-replay diverged from the "
-                       "snapshot: it was taken under a different "
-                       "input script or specification history");
+    payload += "STATE_END\n";
+
+    try {
+        exchange("RESTORE " + std::to_string(payload.size()) + "\n",
+                 payload);
+    } catch (const SimError &) {
+        // An ERR means the child may have applied the payload
+        // partially; its state is no longer trustworthy. (Pipe
+        // failures already took the down_ path in exchange().)
+        if (!down_) {
+            down_ = true;
+            child_.terminate();
+        }
+        throw;
     }
+
+    state_ = snap.state;
+    cycle_ = snap.cycle;
     stats_ = snap.stats;
+    ioOps_ = snap.ioValues;
+    ioBytes_ = bytes;
+    stateDirty_ = false;
+    // The pre-restore timeline's output is not a prefix of the
+    // restored one; start the output accumulators afresh.
+    allOut_.clear();
+    ioText_.clear();
+    midLine_ = false;
 }
 
 void
@@ -290,7 +371,7 @@ NativeEngine::ingest(std::string_view fresh)
 {
     auto emitIo = [&](std::string_view piece) {
         ioText_.append(piece);
-        if (opts_.ioEcho && !replaying_)
+        if (opts_.ioEcho)
             *opts_.ioEcho << piece;
     };
     // Trace-shaped lines exist in the payload only when the binary
@@ -298,7 +379,7 @@ NativeEngine::ingest(std::string_view fresh)
     // when one is configured and dropped otherwise (a shared batch
     // build may trace for siblings that capture it).
     const bool traced = build_->emitsTrace;
-    TraceSink *sink = replaying_ ? nullptr : cfg_.trace;
+    TraceSink *sink = cfg_.trace;
 
     size_t pos = 0;
     if (midLine_) {
@@ -423,6 +504,13 @@ NativeEngine::parseStateDump(const std::string &dump)
             if (cell < 0 || cell >= static_cast<long>(cells.size()))
                 throw bad();
             cells[cell] = static_cast<int32_t>(v);
+        } else if (std::strncmp(line, "STATE_I ", 8) == 0) {
+            long long ops = std::strtoll(line + 8, &end, 10);
+            long long bp = std::strtoll(end, nullptr, 10);
+            if (ops < 0 || bp < 0)
+                throw bad();
+            ioOps_ = static_cast<uint64_t>(ops);
+            ioBytes_ = static_cast<uint64_t>(bp);
         } else if (std::strncmp(line, "STATE_END", 9) == 0) {
             complete = true;
         }

@@ -26,21 +26,29 @@
  *    null — a callback device cannot cross the process boundary;
  *  - state: fetched lazily. run() only marks state stale; the first
  *    observer (value(), memCell(), state(), snapshot()) issues a
- *    `STATE` command and parses the dump back into MachineState, so
- *    per-cycle stepping does not pay a state transfer per step;
+ *    `SNAPSHOT` command and parses the dump (machine state plus the
+ *    scripted-input cursor) back into the mirror, so per-cycle
+ *    stepping does not pay a state transfer per step;
  *  - faults & crashes: a child that exits, is killed, or breaks the
  *    pipe mid-protocol surfaces as SimError; the engine stays at its
  *    last confirmed cycle and keeps serving the state it had fetched
  *    for it — but if the confirmed cycle's state was never fetched,
  *    state accessors throw rather than pair cycle() with an older
  *    mirror. A fresh reset() respawns the child and recovers;
- *  - restore() replays: RESET + RUN to the snapshot's cycle (same
- *    deterministic program, same scripted input prefix), then
- *    verifies the replayed state equals the snapshot — so snapshots
- *    taken from any engine over the same spec and inputs restore
- *    here, at O(snapshot cycle) cost;
+ *  - restore() is protocol-native and O(state): the snapshot's
+ *    machine state, cycle counter, and input cursor ship to the
+ *    child as one length-framed `RESTORE` payload — no replay from
+ *    cycle zero. Snapshots taken by *any* engine over the same spec
+ *    restore here (a snapshot without a byte cursor positions the
+ *    child's script by skipping the snapshot's count of consumed
+ *    input values as whitespace-separated tokens, matching integer
+ *    input; address-0 character-input histories are not portable
+ *    across the process boundary — see sim/io.hh). A child that
+ *    rejects the payload is terminated and the engine reports down
+ *    until reset();
  *  - stats() counts cycles only; ALU/selector/memory counters do not
- *    cross the boundary.
+ *    cross the boundary (a restored snapshot's counters are adopted
+ *    as-is).
  */
 
 #ifndef ASIM_SIM_NATIVE_ENGINE_HH
@@ -115,7 +123,13 @@ class NativeEngine : public Engine
     void reset() override;
     void step() override { run(1); }
     void run(uint64_t cycles) override;
+    EngineSnapshot snapshot() const override;
     void restore(const EngineSnapshot &snap) override;
+
+    /** Total cycles this engine has asked its children to execute
+     *  via RUN commands (monotonic across reset()). The O(1)-restore
+     *  guarantee in cycle space: restore() never adds to it. */
+    uint64_t runCommandCycles() const { return runCommandCycles_; }
 
     /** The program's non-trace stdout so far (memory-mapped output
      *  and prompts, thesis text format). */
@@ -173,12 +187,14 @@ class NativeEngine : public Engine
     FILE *errSpool_ = nullptr; ///< child stderr capture (tmpfile)
     double lastRunSeconds_ = 0;
     double lastSimSeconds_ = 0;
+    uint64_t runCommandCycles_ = 0;
     std::string allOut_;   ///< simulation output consumed so far
     std::string ioText_;   ///< non-trace subset of allOut_
     bool midLine_ = false; ///< last consumed char was not a newline
-    bool replaying_ = false;          ///< restore(): mute sinks/echo
     bool down_ = false; ///< child failed; reset() required to respawn
     mutable bool stateDirty_ = false; ///< state_ lags the child
+    mutable uint64_t ioOps_ = 0;   ///< child input ops (SNAPSHOT)
+    mutable uint64_t ioBytes_ = 0; ///< child script byte cursor
 };
 
 } // namespace asim

@@ -7,6 +7,7 @@
 
 #include "analysis/resolve.hh"
 #include "lang/parser.hh"
+#include "sim/checkpoint.hh"
 #include "sim/compiler.hh"
 #include "sim/io.hh"
 #include "sim/native_engine.hh"
@@ -55,6 +56,19 @@ EngineRegistry::global()
                        ctx.compiler.inlineConstAlu;
                    no.codegen.specializeConstMem =
                        ctx.compiler.specializeConstMem;
+                   if (!no.prebuilt && no.workDir.empty()) {
+                       // Cross-job build cache: identical
+                       // (spec, options) constructions — repeated
+                       // manifest rows especially — share one
+                       // generate+compile.
+                       CodegenOptions cg = no.codegen;
+                       cg.aluSemantics = ctx.config.aluSemantics;
+                       cg.emitTrace = ctx.config.trace != nullptr;
+                       cg.emitStateDump = true;
+                       cg.emitServeLoop = true;
+                       no.prebuilt = compileSpecCached(
+                           *rs, cg, specIdentityHash(*rs));
+                   }
                    return std::make_unique<NativeEngine>(
                        rs, ctx.config, std::move(no));
                },
@@ -304,7 +318,10 @@ Simulation::shareBatchArtifacts(const SimulationOptions &opts,
     }
     if (shared.engine == "native" && !shared.nativeBuild) {
         // One generated+host-compiled binary for the whole batch;
-        // each instance spawns its own --serve child off it.
+        // each instance spawns its own --serve child off it. Routed
+        // through the cross-job build cache (unless an explicit
+        // workDir pins the artifacts), so repeated batches of the
+        // same machine also share one compile.
         CodegenOptions cg;
         cg.inlineConstAlu = shared.compiler.inlineConstAlu;
         cg.specializeConstMem = shared.compiler.specializeConstMem;
@@ -313,7 +330,11 @@ Simulation::shareBatchArtifacts(const SimulationOptions &opts,
         cg.emitStateDump = true;
         cg.emitServeLoop = true;
         shared.nativeBuild =
-            compileSpecShared(*shared.resolved, cg, shared.workDir);
+            shared.workDir.empty()
+                ? compileSpecCached(*shared.resolved, cg,
+                                    specIdentityHash(*shared.resolved))
+                : compileSpecShared(*shared.resolved, cg,
+                                    shared.workDir);
     }
     return shared;
 }
@@ -327,6 +348,26 @@ Simulation::makeBatch(const SimulationOptions &opts, size_t count)
     for (size_t i = 0; i < count; ++i)
         sims.push_back(std::make_unique<Simulation>(shared));
     return sims;
+}
+
+uint64_t
+Simulation::specHash() const
+{
+    if (specHash_ == 0)
+        specHash_ = specIdentityHash(*rs_);
+    return specHash_;
+}
+
+void
+Simulation::saveCheckpoint(const std::string &path) const
+{
+    asim::saveCheckpoint(*engine_, path, engineName_);
+}
+
+void
+Simulation::restoreCheckpoint(const std::string &path)
+{
+    engine_->restore(loadCheckpoint(path, *rs_));
 }
 
 int64_t

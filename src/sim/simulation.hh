@@ -275,6 +275,24 @@ class Simulation
         engine_->restore(snap);
     }
 
+    /// @{ Durable checkpoints (sim/checkpoint.hh): the snapshot
+    /// serialized to a versioned, checksummed binary file bound to
+    /// this specification's identity hash. A checkpoint saved by any
+    /// registry engine restores under any other.
+    /** Write the current snapshot to `path` (atomic: temp+rename).
+     *  @throws SimError on I/O failure */
+    void saveCheckpoint(const std::string &path) const;
+
+    /** Load, validate (magic, version, checksum, spec hash, shape),
+     *  and restore the checkpoint at `path`. @throws SimError with
+     *  path/offset/reason on corrupt or mismatched files */
+    void restoreCheckpoint(const std::string &path);
+
+    /** This specification's content identity
+     *  (analysis/resolve.hh specIdentityHash, cached). */
+    uint64_t specHash() const;
+    /// @}
+
   private:
     std::shared_ptr<const ResolvedSpec> rs_;
     Diagnostics diag_;
@@ -282,6 +300,7 @@ class Simulation
     std::unique_ptr<TraceSink> ownedTrace_;
     std::unique_ptr<IoDevice> ownedIo_;
     std::unique_ptr<Engine> engine_;
+    mutable uint64_t specHash_ = 0; ///< lazy; 0 = not yet computed
 };
 
 } // namespace asim

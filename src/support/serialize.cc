@@ -1,0 +1,70 @@
+#include "support/serialize.hh"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+namespace asim {
+
+void
+writeFileAtomic(const std::string &path, std::string_view data)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw SimError("cannot write " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SimError("cannot move into place: " + path);
+    }
+}
+
+uint64_t
+fnv1a64(std::string_view data, uint64_t seed)
+{
+    // Offset basis mixed with the caller's seed so independent
+    // domains (spec text, option bits) cannot collide trivially.
+    uint64_t h = 14695981039346656037ull ^ seed;
+    for (char c : data) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(std::string_view data)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    uint32_t crc = 0xffffffffu;
+    for (char ch : data)
+        crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^
+              (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace asim

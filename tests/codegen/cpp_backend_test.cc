@@ -109,12 +109,20 @@ TEST(CppBackend, ServeLoopShape)
     std::string code = generateCpp(rs, opts);
     // The command dispatcher and its framing.
     EXPECT_TRUE(contains(code, "--serve"));
-    for (const char *cmd : {"\"RUN \"", "\"INPUT \"", "\"RESET\"",
-                            "\"STATE\"", "\"STATS\"", "\"QUIT\""})
+    for (const char *cmd :
+         {"\"RUN \"", "\"INPUT \"", "\"RESET\"", "\"STATE\"",
+          "\"SNAPSHOT\"", "\"RESTORE \"", "\"STATS\"", "\"QUIT\""})
         EXPECT_TRUE(contains(code, cmd)) << cmd;
     EXPECT_TRUE(contains(code, "respond(\"OK\""));
     EXPECT_TRUE(contains(code, "resetstate();"));
     EXPECT_TRUE(contains(code, "dumpstate();"));
+    // The checkpoint pair: SNAPSHOT extends the dump with the input
+    // cursor; RESTORE parses the same line formats back with every
+    // index bounds-checked.
+    EXPECT_TRUE(contains(code, "STATE_I"));
+    EXPECT_TRUE(contains(code, "restorestate(blob, &newcyc)"));
+    EXPECT_TRUE(contains(code, "\"STATE_CYC \""));
+    EXPECT_TRUE(contains(code, "bad restore payload"));
     // Simulation output is buffered per command in serve builds...
     EXPECT_TRUE(
         contains(code, "xprintf(\"Cycle %3lld\", cyclecount);"));
@@ -129,6 +137,7 @@ TEST(CppBackend, OneShotBuildsCarryNoServePlumbing)
     EXPECT_FALSE(contains(code, "--serve"));
     EXPECT_FALSE(contains(code, "xprintf"));
     EXPECT_FALSE(contains(code, "servemode"));
+    EXPECT_FALSE(contains(code, "restorestate"));
 }
 
 TEST(CppBackend, ServeStateDumpRidesTheResponseBuffer)

@@ -110,5 +110,42 @@ TEST_F(Native, ReportsPipelinePhases)
     EXPECT_FALSE(res.generatedPath.empty());
 }
 
+TEST_F(Native, BuildCacheSharesIdenticalCompiles)
+{
+    ResolvedSpec rs = resolveText(counterSpec(5, 60));
+    uint64_t hash = specIdentityHash(rs);
+    CodegenOptions opts;
+    opts.emitServeLoop = true;
+    opts.emitStateDump = true;
+
+    uint64_t before = nativeCompileCount();
+    auto a = compileSpecCached(rs, opts, hash);
+    auto b = compileSpecCached(rs, opts, hash);
+    EXPECT_EQ(a.get(), b.get())
+        << "identical (spec, options) must share one build";
+    EXPECT_EQ(nativeCompileCount(), before + 1);
+
+    // Any option that changes the emitted program is a new key.
+    CodegenOptions traced = opts;
+    traced.emitTrace = !opts.emitTrace;
+    auto c = compileSpecCached(rs, traced, hash);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(nativeCompileCount(), before + 2);
+
+    // A different spec is a new key even with equal options.
+    ResolvedSpec other = resolveText(counterSpec(6, 60));
+    auto d = compileSpecCached(other, opts, specIdentityHash(other));
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_EQ(nativeCompileCount(), before + 3);
+
+    // The strong ring keeps recent builds alive across the gap
+    // between jobs: dropping every handle and asking again must
+    // still hit.
+    a.reset();
+    b.reset();
+    auto e = compileSpecCached(rs, opts, hash);
+    EXPECT_EQ(nativeCompileCount(), before + 3) << "cache miss";
+}
+
 } // namespace
 } // namespace asim

@@ -1,0 +1,465 @@
+/** @file
+ * Checkpoint subsystem tests: binary round trips through memory and
+ * disk, the corrupt-input hardening contract (truncations and bit
+ * flips of every byte must raise diagnostic SimErrors, never UB),
+ * spec-identity binding, and BatchRunner's checkpoint/resume flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "machines/counter.hh"
+#include "sim/batch.hh"
+#include "sim/checkpoint.hh"
+#include "sim/simulation.hh"
+#include "support/serialize.hh"
+
+namespace asim {
+namespace {
+
+const char *kEchoSpec = "# integer echo\n"
+                        "= 9\n"
+                        "in out .\n"
+                        "M in 1 0 2 1\n"
+                        "M out 1 in 3 1\n"
+                        ".\n";
+
+/** Unique scratch path per test; removed by the caller when needed. */
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("asim_ckpt_test_" + name))
+        .string();
+}
+
+class CheckpointFormat : public ::testing::Test
+{
+  protected:
+    /** A mid-run snapshot with non-trivial state, stats, and an
+     *  input cursor. */
+    static Simulation
+    makeEchoSim(std::ostream &out)
+    {
+        SimulationOptions opts;
+        opts.specText = kEchoSpec;
+        opts.ioMode = IoMode::Script;
+        opts.scriptInputs = {11, 22, 33, 44, 55, 66, 77, 88, 99, 110};
+        opts.ioOut = &out;
+        return Simulation(opts);
+    }
+};
+
+TEST_F(CheckpointFormat, EncodeDecodeRoundTrip)
+{
+    std::ostringstream os;
+    Simulation sim = makeEchoSim(os);
+    sim.run(4);
+    EngineSnapshot snap = sim.snapshot();
+    EXPECT_EQ(snap.ioValues, 4u);
+    EXPECT_EQ(snap.ioBytes, kNoIoCursor);
+
+    std::string blob = encodeCheckpoint(snap, 0x1234, "vm");
+    CheckpointInfo info;
+    EngineSnapshot back = decodeCheckpoint(blob, "mem", &info);
+
+    EXPECT_EQ(info.version, kCheckpointVersion);
+    EXPECT_EQ(info.specHash, 0x1234u);
+    EXPECT_EQ(info.savedBy, "vm");
+    EXPECT_EQ(info.cycle, 4u);
+    EXPECT_TRUE(back.state == snap.state);
+    EXPECT_EQ(back.cycle, snap.cycle);
+    EXPECT_EQ(back.ioValues, snap.ioValues);
+    EXPECT_EQ(back.ioBytes, snap.ioBytes);
+    EXPECT_EQ(back.stats.cycles, snap.stats.cycles);
+    EXPECT_EQ(back.stats.summary(), snap.stats.summary());
+}
+
+TEST_F(CheckpointFormat, FileRoundTripAndPeek)
+{
+    const std::string path = tmpPath("file_roundtrip.ckpt");
+    std::ostringstream os;
+    Simulation sim = makeEchoSim(os);
+    sim.run(3);
+    sim.saveCheckpoint(path);
+
+    CheckpointInfo info = peekCheckpoint(path);
+    EXPECT_EQ(info.cycle, 3u);
+    EXPECT_EQ(info.savedBy, "vm");
+    EXPECT_EQ(info.specHash, sim.specHash());
+
+    EngineSnapshot snap =
+        loadCheckpoint(path, sim.resolved());
+    EXPECT_TRUE(snap.state == sim.snapshot().state);
+    std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFormat, RestoredRunContinuesByteIdentically)
+{
+    // Reference: uninterrupted 9-cycle scripted run.
+    std::ostringstream refOut;
+    Simulation ref = makeEchoSim(refOut);
+    ref.run(9);
+
+    // Save at cycle 4, restore into a *fresh* process-equivalent
+    // simulation (new Simulation, same spec), finish the run: the
+    // combined output must be byte-identical, including the input
+    // cursor (values 5.. continue, not restart).
+    const std::string path = tmpPath("continue.ckpt");
+    std::ostringstream aOut;
+    Simulation a = makeEchoSim(aOut);
+    a.run(4);
+    a.saveCheckpoint(path);
+
+    std::ostringstream bOut;
+    Simulation b = makeEchoSim(bOut);
+    b.restoreCheckpoint(path);
+    EXPECT_EQ(b.cycle(), 4u);
+    b.run(5);
+
+    EXPECT_EQ(aOut.str() + bOut.str(), refOut.str());
+    EXPECT_TRUE(b.engine().state() == ref.engine().state());
+    std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFormat, WrongSpecRefusedByHash)
+{
+    const std::string path = tmpPath("wrong_spec.ckpt");
+    std::ostringstream os;
+    Simulation echo = makeEchoSim(os);
+    echo.run(2);
+    echo.saveCheckpoint(path);
+
+    SimulationOptions counter;
+    counter.specText = counterSpec(4, 100);
+    Simulation other(counter);
+    try {
+        other.restoreCheckpoint(path);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("different specification"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFormat, UnreadableFileIsDiagnostic)
+{
+    SimulationOptions opts;
+    opts.specText = kEchoSpec;
+    Simulation sim(opts);
+    EXPECT_THROW(
+        sim.restoreCheckpoint("/nonexistent/dir/nothing.ckpt"),
+        SimError);
+    EXPECT_THROW(peekCheckpoint("/nonexistent/dir/nothing.ckpt"),
+                 SimError);
+}
+
+// ---------------------------------------------------------------------
+// Corrupt-input hardening: every truncation length and every
+// single-byte flip of a real checkpoint must fail with SimError —
+// diagnostics, not crashes, and never a silent success.
+// ---------------------------------------------------------------------
+
+class CheckpointFuzz : public ::testing::Test
+{
+  protected:
+    static std::string
+    realBlob()
+    {
+        std::ostringstream os;
+        SimulationOptions opts;
+        opts.specText = kEchoSpec;
+        opts.ioMode = IoMode::Script;
+        opts.scriptInputs = {1, 2, 3, 4, 5};
+        opts.ioOut = &os;
+        Simulation sim(opts);
+        sim.run(3);
+        return encodeCheckpoint(sim.snapshot(), sim.specHash(),
+                                "vm");
+    }
+};
+
+TEST_F(CheckpointFuzz, EveryTruncationLengthThrows)
+{
+    std::string blob = realBlob();
+    ASSERT_GT(blob.size(), 40u);
+    for (size_t len = 0; len < blob.size(); ++len) {
+        EXPECT_THROW(decodeCheckpoint(blob.substr(0, len),
+                                      "trunc" + std::to_string(len)),
+                     SimError)
+            << "length " << len;
+    }
+    // The untruncated blob still decodes (the harness is honest).
+    EXPECT_NO_THROW(decodeCheckpoint(blob, "full"));
+}
+
+TEST_F(CheckpointFuzz, EverySingleByteFlipThrows)
+{
+    std::string blob = realBlob();
+    for (size_t i = 0; i < blob.size(); ++i) {
+        std::string bad = blob;
+        bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+        EXPECT_THROW(decodeCheckpoint(bad, "flip"), SimError)
+            << "flip at byte " << i;
+    }
+}
+
+TEST_F(CheckpointFuzz, AppendedGarbageThrows)
+{
+    std::string blob = realBlob() + "garbage";
+    EXPECT_THROW(decodeCheckpoint(blob, "padded"), SimError);
+}
+
+TEST_F(CheckpointFuzz, AbsurdCountRejectedBeforeAllocation)
+{
+    // Handcraft a header whose var count claims 2^40 entries; the
+    // decoder must refuse on the count itself (sanity limit /
+    // remaining-bytes check), not attempt the allocation. The CRC is
+    // made valid so the count check is what fires.
+    ByteWriter w;
+    w.bytes(kCheckpointMagic);
+    w.u32(kCheckpointVersion);
+    w.u64(0);       // spec hash
+    w.str("evil");  // saved-by
+    w.u64(1);       // cycle
+    w.u64(0);       // ioValues
+    w.u64(0);       // ioBytes
+    w.u64(1);       // stats cycles
+    w.u64(0);       // stats alu
+    w.u64(0);       // stats sel
+    w.u64(0);       // stats mem count
+    w.u64(1ull << 40); // state var count: absurd
+    w.u32(crc32(w.data()));
+    try {
+        decodeCheckpoint(w.data(), "crafted");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("state var count"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST_F(CheckpointFuzz, FutureVersionRefusedByName)
+{
+    std::string blob = realBlob();
+    // Bump the version field (bytes 8..11) and re-seal the CRC so
+    // only the version gate can object.
+    blob[8] = static_cast<char>(kCheckpointVersion + 7);
+    uint32_t crc = crc32(
+        std::string_view(blob).substr(0, blob.size() - 4));
+    for (int i = 0; i < 4; ++i)
+        blob[blob.size() - 4 + i] =
+            static_cast<char>((crc >> (8 * i)) & 0xff);
+    try {
+        decodeCheckpoint(blob, "future");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("newer"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// BatchRunner checkpoint/resume: a finished run's artifacts skip
+// instances; a killed run's artifacts (checkpoint, no .done marker)
+// resume them with byte-identical output.
+// ---------------------------------------------------------------------
+
+class BatchResume : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = tmpPath("batch_resume_dir");
+        std::filesystem::remove_all(dir_);
+    }
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    static BatchJob
+    echoJob(uint64_t cycles)
+    {
+        BatchJob job;
+        job.options.specText = kEchoSpec;
+        job.options.ioMode = IoMode::Script;
+        job.options.scriptInputs = {11, 22, 33, 44, 55,
+                                    66, 77, 88, 99, 110};
+        job.cycles = cycles;
+        job.label = "echo";
+        return job;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(BatchResume, FinishedInstancesAreSkippedOnResume)
+{
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    {
+        BatchRunner runner(bopts);
+        runner.addBatch(echoJob(6), 3);
+        BatchResult first = runner.run();
+        ASSERT_TRUE(first.allOk());
+        EXPECT_FALSE(first.instances[0].resumed);
+    }
+    BatchRunner again(bopts);
+    again.addBatch(echoJob(6), 3);
+    EXPECT_EQ(again.resumeFromCheckpoints(), 3u);
+    BatchResult second = again.run();
+    ASSERT_TRUE(second.allOk());
+    for (const auto &r : second.instances) {
+        EXPECT_TRUE(r.resumed);
+        EXPECT_EQ(r.cyclesRun, 6u);
+        EXPECT_EQ(r.ioText, "11\n22\n33\n44\n55\n66\n");
+        EXPECT_EQ(r.stats.cycles, 6u);
+        EXPECT_FALSE(r.state.mems.empty()) << "state reloaded";
+    }
+}
+
+TEST_F(BatchResume, KilledRunResumesWithByteIdenticalOutput)
+{
+    // Simulate the artifacts a killed batch leaves: a mid-run
+    // checkpoint and its output text, but no completion marker.
+    {
+        std::ostringstream os;
+        SimulationOptions opts = echoJob(0).options;
+        opts.ioOut = &os;
+        Simulation sim(opts);
+        sim.run(4);
+        std::filesystem::create_directories(dir_);
+        sim.saveCheckpoint(dir_ + "/inst-0.ckpt");
+        // The .io artifact carries the cycle it corresponds to.
+        std::ofstream(dir_ + "/inst-0.io") << "4\n" << os.str();
+    }
+
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    BatchRunner runner(bopts);
+    runner.addJob(echoJob(9));
+    EXPECT_EQ(runner.resumeFromCheckpoints(), 1u);
+    BatchResult result = runner.run();
+    ASSERT_TRUE(result.allOk());
+    const InstanceResult &r = result.instances[0];
+    EXPECT_TRUE(r.resumed);
+    EXPECT_EQ(r.cyclesRun, 9u);
+
+    // Reference: the same job uninterrupted.
+    BatchRunner ref;
+    ref.addJob(echoJob(9));
+    BatchResult refResult = ref.run();
+    EXPECT_EQ(r.ioText, refResult.instances[0].ioText)
+        << "resumed output must be byte-identical";
+    EXPECT_TRUE(r.state == refResult.instances[0].state);
+
+    // And the dir is now marked done: a third run skips entirely.
+    BatchRunner third(bopts);
+    third.addJob(echoJob(9));
+    EXPECT_EQ(third.resumeFromCheckpoints(), 1u);
+    BatchResult done = third.run();
+    EXPECT_EQ(done.instances[0].ioText,
+              refResult.instances[0].ioText);
+}
+
+TEST_F(BatchResume, TornArtifactsRestartInsteadOfStitching)
+{
+    // A kill between the .io and .ckpt writes leaves their cycle
+    // tags disagreeing. Resume must detect the tear and restart the
+    // instance from zero — full, correct output, no duplicated or
+    // missing chunk.
+    {
+        std::ostringstream os;
+        SimulationOptions opts = echoJob(0).options;
+        opts.ioOut = &os;
+        Simulation sim(opts);
+        sim.run(4);
+        std::filesystem::create_directories(dir_);
+        sim.saveCheckpoint(dir_ + "/inst-0.ckpt");
+        std::ofstream(dir_ + "/inst-0.io") << "2\n11\n22\n"; // stale
+    }
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    BatchRunner runner(bopts);
+    runner.addJob(echoJob(9));
+    EXPECT_EQ(runner.resumeFromCheckpoints(), 1u);
+    BatchResult result = runner.run();
+    ASSERT_TRUE(result.allOk());
+    EXPECT_FALSE(result.instances[0].resumed) << "tear detected";
+    EXPECT_EQ(result.instances[0].ioText,
+              "11\n22\n33\n44\n55\n66\n77\n88\n99\n");
+}
+
+TEST_F(BatchResume, BudgetExtensionContinuesFromDoneMarker)
+{
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    bopts.checkpointEvery = 2;
+    {
+        BatchRunner runner(bopts);
+        runner.addJob(echoJob(4));
+        ASSERT_TRUE(runner.run().allOk());
+    }
+    BatchRunner more(bopts);
+    more.addJob(echoJob(9));
+    EXPECT_EQ(more.resumeFromCheckpoints(), 1u);
+    BatchResult result = more.run();
+    ASSERT_TRUE(result.allOk());
+    EXPECT_TRUE(result.instances[0].resumed);
+    EXPECT_EQ(result.instances[0].cyclesRun, 9u);
+    EXPECT_EQ(result.instances[0].ioText,
+              "11\n22\n33\n44\n55\n66\n77\n88\n99\n");
+}
+
+TEST_F(BatchResume, ChecksumedArtifactsRejectForeignSpec)
+{
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    {
+        BatchRunner runner(bopts);
+        runner.addJob(echoJob(4));
+        ASSERT_TRUE(runner.run().allOk());
+    }
+    // Same dir, different machine: the spec-identity hash refuses.
+    BatchRunner wrong(bopts);
+    BatchJob job;
+    job.options.specText = counterSpec(4, 100);
+    job.cycles = 10;
+    wrong.addJob(std::move(job));
+    wrong.resumeFromCheckpoints();
+    EXPECT_THROW(wrong.run(), SimError);
+}
+
+TEST_F(BatchResume, ResumeRequiresCheckpointDir)
+{
+    BatchRunner runner;
+    runner.addJob(echoJob(4));
+    EXPECT_THROW(runner.resumeFromCheckpoints(), SimError);
+}
+
+TEST_F(BatchResume, CorruptDoneMarkerIsDiagnostic)
+{
+    std::filesystem::create_directories(dir_);
+    std::ofstream(dir_ + "/inst-0.done") << "not numbers";
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    BatchRunner runner(bopts);
+    runner.addJob(echoJob(4));
+    EXPECT_THROW(runner.resumeFromCheckpoints(), SimError);
+}
+
+} // namespace
+} // namespace asim

@@ -2,8 +2,9 @@
  * NativeEngine persistent-subprocess protocol tests: the child
  * survives across run()/reset(), crashes surface as SimError with
  * the engine at its last confirmed cycle and reset() recovering,
- * restore() replays, and — the regression the protocol exists to
- * fix — stepping is incremental, not quadratic.
+ * restore() is protocol-native (one RESTORE round trip, O(state) —
+ * never a replay from cycle zero), and — the regression the
+ * protocol exists to fix — stepping is incremental, not quadratic.
  *
  * Skipped without a host compiler.
  */
@@ -176,10 +177,36 @@ TEST_F(NativeEngineTest, ScriptedInputRewindsOnReset)
     EXPECT_EQ(e.output(), "10\n20\n") << "reset rewinds the script";
 }
 
-TEST_F(NativeEngineTest, RestoreByReplayVerifiesDivergence)
+/** The O(1)-restore latency property, asserted in *cycle space* so
+ *  it can never be wall-clock flaky: restoring a snapshot taken at
+ *  cycle N must cost zero RUN-command cycles — the old adapter
+ *  replayed all N. */
+TEST_F(NativeEngineTest, RestoreIsProtocolNativeNotReplay)
 {
-    // A snapshot taken under a different input script cannot be
-    // replayed into this engine — the verification must catch it.
+    auto ap = counterEngine();
+    NativeEngine &a = *ap;
+    a.run(1000);
+    EngineSnapshot snap = a.snapshot();
+
+    auto bp = counterEngine();
+    NativeEngine &b = *bp;
+    EXPECT_EQ(b.runCommandCycles(), 0u);
+    b.restore(snap);
+    EXPECT_EQ(b.runCommandCycles(), 0u)
+        << "restore() replayed cycles through RUN — the O(state) "
+           "RESTORE protocol path is gone";
+    EXPECT_EQ(b.cycle(), 1000u);
+    EXPECT_EQ(b.value("count"), a.value("count"));
+
+    // The continuation matches the uninterrupted engine.
+    a.run(7);
+    b.run(7);
+    EXPECT_EQ(b.value("count"), a.value("count"));
+    EXPECT_TRUE(b.state() == a.state());
+}
+
+TEST_F(NativeEngineTest, RestorePositionsTheInputCursor)
+{
     const char *echoSpec = "# integer echo\n"
                            "= 4\n"
                            "in out .\n"
@@ -192,18 +219,44 @@ TEST_F(NativeEngineTest, RestoreByReplayVerifiesDivergence)
     NativeEngine ea(rs, EngineConfig{}, std::move(a));
     ea.run(3);
     EngineSnapshot snap = ea.snapshot();
+    EXPECT_EQ(snap.ioValues, 3u);
+    EXPECT_NE(snap.ioBytes, kNoIoCursor);
 
-    NativeEngine::Options b;
-    b.stdinText = "9\n9\n9\n9\n9\n";
-    NativeEngine eb(rs, EngineConfig{}, std::move(b));
-    EXPECT_THROW(eb.restore(snap), SimError);
-    // Same-history engine restores fine.
+    // Same-script engine: the continuation picks up at value 4.
     NativeEngine::Options c;
     c.stdinText = "1\n2\n3\n4\n5\n";
     NativeEngine ec(rs, EngineConfig{}, std::move(c));
     ec.restore(snap);
     EXPECT_EQ(ec.cycle(), 3u);
     EXPECT_TRUE(ec.state() == snap.state);
+    ec.run(2);
+    EXPECT_EQ(ec.output(), "4\n5\n");
+
+    // A different-script engine adopts the state and the *cursor*:
+    // the continuation reads its own script from position 3 —
+    // exactly what an in-process engine with its own IoDevice does.
+    NativeEngine::Options b;
+    b.stdinText = "9\n9\n9\n9\n9\n";
+    NativeEngine eb(rs, EngineConfig{}, std::move(b));
+    eb.restore(snap);
+    eb.run(2);
+    EXPECT_EQ(eb.output(), "9\n9\n");
+}
+
+TEST_F(NativeEngineTest, RestoreRecoversADownedChild)
+{
+    auto ap = counterEngine();
+    NativeEngine &a = *ap;
+    a.run(6);
+    EngineSnapshot snap = a.snapshot();
+    a.testKillChild();
+    EXPECT_THROW(a.run(1), SimError);
+    // restore() is a full state overwrite: a valid recovery path
+    // without an intervening reset().
+    a.restore(snap);
+    EXPECT_EQ(a.cycle(), 6u);
+    a.run(2);
+    EXPECT_EQ(a.value("count"), 8);
 }
 
 /** The regression guard the whole protocol exists for: stepping N

@@ -390,7 +390,7 @@ TEST_F(NativeFacade, IncrementalRunsReplayDeterministically)
     EXPECT_EQ(os.str(), osRef.str());
 }
 
-TEST_F(NativeFacade, RestoreByReplayContinuesIdentically)
+TEST_F(NativeFacade, RestoreContinuesIdentically)
 {
     std::ostringstream osA, osB;
     SimulationOptions opts;
@@ -403,9 +403,9 @@ TEST_F(NativeFacade, RestoreByReplayContinuesIdentically)
     EXPECT_EQ(snap.cycle, 5u);
     sim.run(7); // wander past the snapshot point
 
-    // Restore replays RESET + RUN 5 inside the child; the trace of
-    // the replay itself is muted, and the continuation matches an
-    // uninterrupted run cycle for cycle.
+    // Restore ships the snapshot to the child as one RESTORE
+    // payload (no replay, nothing traced), and the continuation
+    // matches an uninterrupted run cycle for cycle.
     sim.restore(snap);
     EXPECT_EQ(sim.cycle(), 5u);
     EXPECT_EQ(sim.value("count"), 5);
@@ -439,6 +439,31 @@ TEST_F(NativeFacade, RestoreFromVmSnapshotAcrossEngines)
     native.run(3);
     vm.run(3);
     EXPECT_TRUE(native.engine().state() == vm.engine().state());
+}
+
+TEST_F(NativeFacade, RepeatedConstructionSharesOneBuild)
+{
+    // The cross-job build cache: two independent Simulations over
+    // the same resolved spec and options must adopt the same
+    // generated+compiled artifact (one host-compiler invocation for
+    // a whole heterogeneous batch of identical rows).
+    auto rs = std::make_shared<const ResolvedSpec>(
+        resolveText(counterSpec(7, 50)));
+    SimulationOptions opts;
+    opts.resolved = rs;
+    opts.engine = "native";
+    Simulation s1(opts);
+    Simulation s2(opts);
+    auto *n1 = dynamic_cast<NativeEngine *>(&s1.engine());
+    auto *n2 = dynamic_cast<NativeEngine *>(&s2.engine());
+    ASSERT_NE(n1, nullptr);
+    ASSERT_NE(n2, nullptr);
+    EXPECT_EQ(&n1->build(), &n2->build());
+    // ...while both run independently off their own children.
+    s1.run(3);
+    s2.run(9);
+    EXPECT_EQ(s1.value("count"), 3);
+    EXPECT_EQ(s2.value("count"), 9);
 }
 
 TEST_F(NativeFacade, RejectsIoDevice)
