@@ -14,6 +14,10 @@
  *   --no-trace           suppress the per-cycle trace
  *   --fixed-shl          use repaired shift-left semantics
  *   --list-engines       list registered engines and exit
+ *   --dump-bytecode      compile the spec for the vm engine, print
+ *                        the dispatch mode, the canonical bytecode,
+ *                        and the fused cycle stream with its
+ *                        optimization summary, then exit
  *
  * Checkpoints (sim/checkpoint.hh — portable across all engines):
  *   --save-state=F       write a checkpoint to F when the run ends
@@ -55,7 +59,9 @@
 #include <string>
 
 #include "sim/batch.hh"
+#include "sim/compiler.hh"
 #include "sim/simulation.hh"
+#include "sim/vm.hh"
 
 namespace {
 
@@ -74,7 +80,8 @@ usage()
               << "                [--batch=N | "
                  "--batch-manifest=<file>]\n"
               << "                [--threads=M] [--json=<file>]\n"
-              << "                [--list-engines] <spec-file>\n";
+              << "                [--list-engines] [--dump-bytecode]\n"
+              << "                <spec-file>\n";
 }
 
 /** Assemble and run a batch; returns the process exit code. */
@@ -169,6 +176,7 @@ main(int argc, char **argv)
     std::string restoreFrom;
     std::string checkpointDir;
     uint64_t checkpointEvery = 0;
+    bool dumpBytecode = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -235,6 +243,8 @@ main(int argc, char **argv)
         } else if (arg == "--list-engines") {
             listEngines();
             return 0;
+        } else if (arg == "--dump-bytecode") {
+            dumpBytecode = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -248,6 +258,25 @@ main(int argc, char **argv)
     if (file.empty() && manifest.empty()) {
         usage();
         return 1;
+    }
+
+    if (dumpBytecode) {
+        // Compile-only path: show what the vm engine will execute.
+        opts.specFile = file;
+        try {
+            ResolvedSpec rs = Simulation::loadSpec(opts);
+            Program prog =
+                compileProgram(rs, opts.compiler, trace);
+            std::cout << "dispatch: " << vmDispatchMode() << "\n"
+                      << prog.disassemble();
+        } catch (const SpecError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        } catch (const SimError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+        return 0;
     }
 
     if (batchCount > 0 || !manifest.empty()) {

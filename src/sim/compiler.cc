@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "lang/alu_ops.hh"
+#include "sim/optimizer.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -418,6 +419,63 @@ opName(Op op)
       case Op::MemOutput: return "mem.out";
       case Op::MemGenPre: return "mem.pre";
       case Op::MemGenData: return "mem.fin";
+      case Op::TraceCycle: return "trace.cycle";
+      case Op::EndCycle: return "end.cycle";
+      case Op::Nop: return "nop";
+      case Op::Ext: return "ext";
+      case Op::LoadPairCC: return "ldp.cc";
+      case Op::LoadPairCV: return "ldp.cv";
+      case Op::LoadPairCT: return "ldp.ct";
+      case Op::LoadPairVC: return "ldp.vc";
+      case Op::LoadPairVV: return "ldp.vv";
+      case Op::LoadPairVT: return "ldp.vt";
+      case Op::LoadPairTC: return "ldp.tc";
+      case Op::LoadPairTV: return "ldp.tv";
+      case Op::LoadPairTT: return "ldp.tt";
+      case Op::LoadAccCV: return "lda.cv";
+      case Op::LoadAccCT: return "lda.ct";
+      case Op::LoadAccVV: return "lda.vv";
+      case Op::LoadAccVT: return "lda.vt";
+      case Op::LoadAccTV: return "lda.tv";
+      case Op::LoadAccTT: return "lda.tt";
+      case Op::MemLatchCC: return "mlatch.cc";
+      case Op::MemLatchVC: return "mlatch.vc";
+      case Op::MemLatchTC: return "mlatch.tc";
+      case Op::MemLatchVV: return "mlatch.vv";
+      case Op::MemWriteC: return "mem.wrc";
+      case Op::MemWriteV: return "mem.wrv";
+      case Op::MemWriteT: return "mem.wrt";
+      case Op::MemOutputC: return "mem.outc";
+      case Op::MemOutputV: return "mem.outv";
+      case Op::MemOutputT: return "mem.outt";
+      case Op::SelTableV: return "seltab.v";
+      case Op::SelTableT: return "seltab.t";
+      case Op::SwitchV: return "switch.v";
+      case Op::SwitchT: return "switch.t";
+      case Op::StoreSJ: return "stj";
+      case Op::StoreCJ: return "stcj";
+      case Op::StoreFVarJ: return "stfvj";
+      case Op::StoreFTempJ: return "stftj";
+      case Op::MemLatchCV: return "mlatch.cv";
+      case Op::MemLatchCT: return "mlatch.ct";
+      case Op::MemLatchVT: return "mlatch.vt";
+      case Op::MemLatchTV: return "mlatch.tv";
+      case Op::MemLatchTT: return "mlatch.tt";
+      case Op::MemGenDataC: return "mem.finc";
+      case Op::MemGenDataV: return "mem.finv";
+      case Op::MemGenDataT: return "mem.fint";
+#define ASIM_ALU_FUSED_NAME(OPNAME, COMBO, L, R, V)                    \
+      case Op::AluF##OPNAME##COMBO:                                    \
+        return "aluf." #OPNAME "." #COMBO;
+      ASIM_ALU_FUSED_ALL(ASIM_ALU_FUSED_NAME)
+#undef ASIM_ALU_FUSED_NAME
+      case Op::SelStoreV: return "selst.v";
+      case Op::SelStoreT: return "selst.t";
+      case Op::TraceLatchRun: return "trace.latchrun";
+      case Op::AluGenF: return "aluf.gen";
+      case Op::MemGenC: return "mem.genc";
+      case Op::MemGenV: return "mem.genv";
+      case Op::MemGenT: return "mem.gent";
     }
     return "?";
 }
@@ -438,9 +496,13 @@ Program::disassemble() const
     dump("comb", comb);
     dump("latch", latch);
     dump("update", update);
+    dump("cycle (fused)", cycle);
     os << "jumpTable: " << jumpTable.size()
        << " entries, constTable: " << constTable.size()
        << " entries\n";
+    os << "opt: linked=" << opt.linked << " cycle=" << cycle.size()
+       << " fused=" << opt.fused << " deadStores=" << opt.deadStores
+       << " checksElided=" << opt.checksElided << "\n";
     return os.str();
 }
 
@@ -448,7 +510,9 @@ Program
 compileProgram(const ResolvedSpec &rs, const CompilerOptions &opts,
                bool tracingPossible)
 {
-    return Compiler(rs, opts, tracingPossible).run();
+    Program prog = Compiler(rs, opts, tracingPossible).run();
+    linkAndOptimize(prog, rs, opts);
+    return prog;
 }
 
 } // namespace asim

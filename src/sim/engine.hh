@@ -201,6 +201,18 @@ struct CompilerOptions
      *  optimization ... heuristics to determine which memories do not
      *  need temporary variables"). */
     bool elideUnusedTemps = false;
+
+    /** Fuse adjacent cycle-stream instructions into superinstructions
+     *  (CVC-style compile-time collapse; sim/optimizer.cc). */
+    bool fuseSuperinstructions = true;
+
+    /** Remove scratch-register stores with no reader — mostly loads
+     *  orphaned by consumer-side fusion. */
+    bool eliminateDeadStores = true;
+
+    /** Drop memory bounds checks whose address expression is
+     *  statically provable to stay inside the memory. */
+    bool elideRedundantChecks = true;
 };
 
 /** Build the bytecode VM (portable ASIM II analog). */

@@ -1,6 +1,13 @@
 /**
  * @file
  * Bytecode VM engine (see sim/bytecode.hh).
+ *
+ * The VM executes the program's fused whole-cycle stream in a single
+ * dispatch loop: one runCycles() call executes any number of cycles
+ * without leaving the interpreter core. Dispatch is threaded
+ * (computed goto) on GCC/Clang when ASIM_VM_COMPUTED_GOTO is enabled
+ * at configure time, with a portable switch fallback otherwise —
+ * vmDispatchMode() reports which one this build uses.
  */
 
 #ifndef ASIM_SIM_VM_HH
@@ -30,6 +37,11 @@ class Vm : public Engine
 
     void step() override;
 
+    /** Runs all `cycles` inside one dispatch-loop activation (the
+     *  base-class implementation would pay a virtual call and a loop
+     *  restart per cycle). */
+    void run(uint64_t cycles) override;
+
     /** The compiled program (for inspection and tests). */
     const Program &program() const { return *prog_; }
 
@@ -41,35 +53,28 @@ class Vm : public Engine
     }
 
   private:
-    void exec(const std::vector<Instr> &code);
+    /** Execute `n` cycles (n >= 1) of the fused cycle stream. */
+    void runCycles(uint64_t n);
 
     /** Bounds-check a latched address; throws SimError. */
-    void checkAddr(const MemoryState &ms, uint16_t idx) const;
+    void checkAddr(const MemoryState &ms, uint16_t idx,
+                   uint64_t cycle) const;
 
     /** Selector bounds failure (cold path); throws SimError. */
-    [[noreturn]] void selFail(const Instr &in) const;
+    [[noreturn]] void selFail(const Instr &in, int32_t sel,
+                              uint64_t cycle) const;
 
     /** Runtime trace checks (cold path, flag-gated). */
     void memTrace(const MemoryState &ms, const Instr &in) const;
 
-    void
-    bumpAlu()
-    {
-        if (cfg_.collectStats)
-            ++stats_.aluEvals;
-    }
-
-    void
-    bumpSel()
-    {
-        if (cfg_.collectStats)
-            ++stats_.selEvals;
-    }
-
     /** Immutable, potentially cross-thread-shared; never written. */
     std::shared_ptr<const Program> prog_;
-    int32_t s_[4] = {0, 0, 0, 0};
 };
+
+/** Human-readable name of the dispatch strategy compiled into this
+ *  build of the VM: "computed-goto (threaded)" or
+ *  "portable switch". */
+const char *vmDispatchMode();
 
 } // namespace asim
 

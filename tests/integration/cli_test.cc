@@ -194,6 +194,24 @@ TEST(Cli, AsimRunListsEngines)
         EXPECT_NE(r.out.find(name), std::string::npos) << r.out;
 }
 
+TEST(Cli, AsimRunDumpBytecode)
+{
+    // Golden smoke over the compile-only path: the dump names the
+    // dispatch strategy, every phase stream, and the pass counters.
+    CmdResult r = run(std::string(ASIM_RUN_BIN) +
+                      " --dump-bytecode " + counterSpec());
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("dispatch: "), std::string::npos) << r.out;
+    for (const char *section :
+         {"comb:", "latch:", "update:", "cycle (fused):"})
+        EXPECT_NE(r.out.find(section), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("opt: linked="), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("fused="), std::string::npos) << r.out;
+    // The counter's only bounds check is statically discharged.
+    EXPECT_NE(r.out.find("checksElided=1"), std::string::npos)
+        << r.out;
+}
+
 TEST(Cli, AsimRunRejectsUnknownEngine)
 {
     CmdResult r = run(std::string(ASIM_RUN_BIN) +

@@ -281,7 +281,12 @@ class BatchResume : public ::testing::Test
     void
     SetUp() override
     {
-        dir_ = tmpPath("batch_resume_dir");
+        // Suffix with the test name: ctest runs each case as its own
+        // process, so a shared directory races under parallel runs.
+        dir_ = tmpPath(std::string("batch_resume_") +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
         std::filesystem::remove_all(dir_);
     }
     void

@@ -166,14 +166,20 @@ TEST_P(OptEquivalence, AllFlagCombos)
     for (int i = 0; i < 128; ++i)
         inputs.push_back(i * 37 % 1000);
 
-    // All 16 flag combinations plus the reference run as one batch.
+    // All 32 flag combinations plus the reference run as one batch.
+    // Bit 4 drops the whole cycle-stream optimizer (fusion,
+    // dead-store elimination, check elision) so every compile-time
+    // combination also runs against the unoptimized stream.
     std::vector<Variant> variants{{"vm", {}, "reference"}};
-    for (int m = 0; m < 16; ++m) {
+    for (int m = 0; m < 32; ++m) {
         CompilerOptions copts;
         copts.inlineConstAlu = m & 1;
         copts.specializeConstMem = m & 2;
         copts.constSelectorTables = m & 4;
         copts.elideUnusedTemps = m & 8;
+        copts.fuseSuperinstructions = !(m & 16);
+        copts.eliminateDeadStores = !(m & 16);
+        copts.elideRedundantChecks = !(m & 16);
         variants.push_back(
             {"vm", copts, "flags" + std::to_string(m)});
     }
