@@ -1,0 +1,143 @@
+/**
+ * @file
+ * asim-serve protocol throughput: interactive stepping over the
+ * wire, one RUN round trip at a time (ping-pong) versus pipelined
+ * batches of queued RUNs, plus batched multi-cycle RUNs and the
+ * park/resume round trip. All against an in-process ServeServer on
+ * a Unix-domain socket — the same code path as the daemon binary
+ * minus process startup. items_per_second is steps (or cycles, or
+ * evict+resume round trips) per second; the acceptance bar for the
+ * subsystem is pipelined stepping >= 10x ping-pong on the counter
+ * spec.
+ *
+ * Run with --benchmark_format=json to get artifact-comparable output.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "machines/counter.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace asim;
+using namespace asim::serve;
+
+/** One shared daemon + connection for every benchmark in this
+ *  binary; sessions are per-benchmark. */
+struct Harness
+{
+    Harness()
+    {
+        ServeOptions o;
+        o.unixPath =
+            "/tmp/asim_bench_serve_" + std::to_string(::getpid());
+        o.stateDir = o.unixPath + ".state";
+        server = std::make_unique<ServeServer>(o);
+        server->start();
+        client = std::make_unique<ServeClient>(o.unixPath);
+    }
+
+    uint64_t
+    openCounter(const std::string &name)
+    {
+        ServeClient::OpenOptions open;
+        open.name = name;
+        open.specText = counterSpec(8, 1000);
+        return client->open(open).id;
+    }
+
+    std::unique_ptr<ServeServer> server;
+    std::unique_ptr<ServeClient> client;
+};
+
+Harness &
+harness()
+{
+    static Harness h;
+    return h;
+}
+
+/** One cycle per round trip: the protocol floor interactive
+ *  debuggers pay without pipelining. */
+void
+BM_ServeStepPingPong(benchmark::State &state)
+{
+    Harness &h = harness();
+    uint64_t id = h.openCounter("pingpong");
+    for (auto _ : state) {
+        auto r = h.client->run(id, 1);
+        benchmark::DoNotOptimize(r.cycle);
+    }
+    state.SetItemsProcessed(state.iterations());
+    h.client->closeSession(id);
+}
+
+/** `depth` queued RUNs per flush: requests coalesce into one write,
+ *  responses into few — the round trip amortizes away. */
+void
+BM_ServeStepPipelined(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    Harness &h = harness();
+    uint64_t id = h.openCounter("pipelined");
+    for (auto _ : state) {
+        for (int i = 0; i < depth; ++i)
+            h.client->sendRun(id, 1);
+        uint64_t cycle = 0;
+        for (int i = 0; i < depth; ++i)
+            cycle = h.client->readRunReply().cycle;
+        benchmark::DoNotOptimize(cycle);
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+    state.SetLabel("depth " + std::to_string(depth));
+    h.client->closeSession(id);
+}
+
+/** The batched alternative: one RUN carrying many cycles;
+ *  items/sec counts cycles, not round trips. */
+void
+BM_ServeRunBatched(benchmark::State &state)
+{
+    const uint64_t cycles = static_cast<uint64_t>(state.range(0));
+    Harness &h = harness();
+    uint64_t id = h.openCounter("batched");
+    for (auto _ : state) {
+        auto r = h.client->run(id, cycles);
+        benchmark::DoNotOptimize(r.cycle);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(cycles));
+    state.SetLabel(std::to_string(cycles) + " cycles/RUN");
+    h.client->closeSession(id);
+}
+
+/** Park-to-disk then transparently resume: the latency a tenant
+ *  pays the first command after an idle eviction. */
+void
+BM_ServeSessionResume(benchmark::State &state)
+{
+    Harness &h = harness();
+    uint64_t id = h.openCounter("resume");
+    h.client->run(id, 100); // non-trivial state to serialize
+    for (auto _ : state) {
+        h.client->evict(id);
+        auto r = h.client->run(id, 1);
+        benchmark::DoNotOptimize(r.cycle);
+    }
+    state.SetItemsProcessed(state.iterations());
+    h.client->closeSession(id);
+}
+
+BENCHMARK(BM_ServeStepPingPong);
+BENCHMARK(BM_ServeStepPipelined)->Arg(64)->Arg(256);
+BENCHMARK(BM_ServeRunBatched)->Arg(4096);
+BENCHMARK(BM_ServeSessionResume);
+
+} // namespace

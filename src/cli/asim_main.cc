@@ -46,6 +46,21 @@
  * Batch runs print a per-instance summary table instead of a trace
  * and exit 2 when any instance faulted.
  *
+ * Remote mode (drive an asim-serve daemon; DESIGN.md §9):
+ *   --connect=ENDPOINT   run against the daemon at ENDPOINT
+ *                        (unix:<path>, tcp:<host>:<port>, or a bare
+ *                        socket path) instead of in process; the
+ *                        session's output/trace prints to stdout
+ *   --session=NAME       session name (default: the spec's basename)
+ *                        — reconnecting to a live or parked session
+ *                        continues it where it left off
+ *   --evict              park the session to disk after the run
+ *   --close-session      delete the session after the run
+ *   --server-stats       print the daemon's STATS JSON and exit
+ *   --shutdown-server    ask the daemon to shut down cleanly
+ * --save-state/--restore-from work remotely too: the daemon's
+ * SNAPSHOT blob *is* a checkpoint file.
+ *
  * Mirrors the thesis' interactive behavior: when no cycle count is
  * available it asks "Number of cycles to trace", and after the run it
  * offers "Continue to cycle (0 to quit)". Scripted runs are fully
@@ -58,7 +73,9 @@
 #include <iostream>
 #include <string>
 
+#include "serve/client.hh"
 #include "sim/batch.hh"
+#include "support/serialize.hh"
 #include "sim/compiler.hh"
 #include "sim/simulation.hh"
 #include "sim/vm.hh"
@@ -80,6 +97,11 @@ usage()
               << "                [--batch=N | "
                  "--batch-manifest=<file>]\n"
               << "                [--threads=M] [--json=<file>]\n"
+              << "                [--connect=<endpoint>] "
+                 "[--session=NAME]\n"
+              << "                [--evict] [--close-session]\n"
+              << "                [--server-stats] "
+                 "[--shutdown-server]\n"
               << "                [--list-engines] [--dump-bytecode]\n"
               << "                <spec-file>\n";
 }
@@ -153,6 +175,132 @@ listEngines()
     }
 }
 
+/** Everything the remote (--connect) mode needs beyond `opts`. */
+struct RemoteOptions
+{
+    std::string endpoint;
+    std::string session;
+    bool serverStats = false;
+    bool shutdownServer = false;
+    bool evictAfter = false;
+    bool closeAfter = false;
+};
+
+/** A --session default the daemon will accept, derived from the
+ *  spec filename ("specs/counter.asim" -> "counter"). */
+std::string
+defaultSessionName(const std::string &file)
+{
+    std::string base = file;
+    auto slash = base.find_last_of('/');
+    if (slash != std::string::npos)
+        base = base.substr(slash + 1);
+    auto dot = base.rfind('.');
+    if (dot != std::string::npos && dot > 0)
+        base = base.substr(0, dot);
+    std::string name;
+    for (char c : base) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        name.push_back(ok ? c : '_');
+    }
+    if (name.empty() || name.size() > 64)
+        name = "cli";
+    return name;
+}
+
+/** Drive an asim-serve daemon instead of simulating in process. */
+int
+runRemote(const RemoteOptions &remote,
+          const asim::SimulationOptions &opts, const std::string &file,
+          int64_t cycles, bool trace, bool stats,
+          const std::string &saveState, const std::string &restoreFrom)
+{
+    using namespace asim;
+
+    serve::ServeClient client(remote.endpoint);
+
+    // Admin-only invocations need no spec at all.
+    if (file.empty() || remote.serverStats) {
+        if (remote.serverStats)
+            std::cout << client.statsJson() << "\n";
+        if (remote.shutdownServer)
+            client.shutdownServer();
+        if (!remote.serverStats && !remote.shutdownServer) {
+            std::cerr << "--connect without a spec file needs "
+                         "--server-stats or --shutdown-server\n";
+            return 1;
+        }
+        return 0;
+    }
+
+    std::ifstream in(file);
+    if (!in) {
+        std::cerr << "cannot read " << file << "\n";
+        return 1;
+    }
+    std::string specText{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+
+    serve::ServeClient::OpenOptions open;
+    open.name = remote.session.empty() ? defaultSessionName(file)
+                                       : remote.session;
+    open.specText = specText;
+    open.engine = opts.engine;
+    open.io = opts.ioMode == IoMode::Script
+                  ? serve::SessionIo::Script
+                  : serve::SessionIo::Null;
+    open.inputs = opts.scriptInputs;
+    open.trace = trace;
+    open.aluFixed = opts.config.aluSemantics == AluSemantics::Fixed;
+
+    auto session = client.open(open);
+    std::cerr << "session \"" << open.name << "\" (id " << session.id
+              << ") on " << remote.endpoint << " at cycle "
+              << session.cycle
+              << (session.resumed ? " (resumed from checkpoint)" : "")
+              << "\n";
+
+    if (!restoreFrom.empty()) {
+        std::ifstream ckpt(restoreFrom, std::ios::binary);
+        if (!ckpt) {
+            std::cerr << "cannot read " << restoreFrom << "\n";
+            return 1;
+        }
+        std::string blob{std::istreambuf_iterator<char>(ckpt),
+                         std::istreambuf_iterator<char>()};
+        uint64_t cycle = client.restore(session.id, blob);
+        std::cerr << "restored " << restoreFrom << " at cycle "
+                  << cycle << "\n";
+    }
+
+    int64_t todo = cycles >= 0 ? cycles : session.defaultCycles;
+    if (todo < 0) {
+        std::cerr << "spec names no cycle count; pass --cycles=N\n";
+        return 1;
+    }
+    auto run = client.run(session.id, static_cast<uint64_t>(todo));
+    std::cout << run.output;
+    std::cerr << "ran to cycle " << run.cycle << "\n";
+
+    if (!saveState.empty()) {
+        std::string blob = client.snapshot(session.id);
+        writeFileAtomic(saveState, blob);
+        std::cerr << "saved checkpoint " << saveState << " at cycle "
+                  << run.cycle << "\n";
+    }
+    if (stats)
+        std::cerr << client.statsJson() << "\n";
+    if (remote.closeAfter)
+        client.closeSession(session.id);
+    else if (remote.evictAfter)
+        client.evict(session.id);
+    if (remote.shutdownServer)
+        client.shutdownServer();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -177,6 +325,7 @@ main(int argc, char **argv)
     std::string checkpointDir;
     uint64_t checkpointEvery = 0;
     bool dumpBytecode = false;
+    RemoteOptions remote;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -240,6 +389,18 @@ main(int argc, char **argv)
             trace = false;
         } else if (arg == "--fixed-shl") {
             opts.config.aluSemantics = AluSemantics::Fixed;
+        } else if (arg.rfind("--connect=", 0) == 0) {
+            remote.endpoint = arg.substr(10);
+        } else if (arg.rfind("--session=", 0) == 0) {
+            remote.session = arg.substr(10);
+        } else if (arg == "--server-stats") {
+            remote.serverStats = true;
+        } else if (arg == "--shutdown-server") {
+            remote.shutdownServer = true;
+        } else if (arg == "--evict") {
+            remote.evictAfter = true;
+        } else if (arg == "--close-session") {
+            remote.closeAfter = true;
         } else if (arg == "--list-engines") {
             listEngines();
             return 0;
@@ -255,6 +416,25 @@ main(int argc, char **argv)
             file = arg;
         }
     }
+    if (!remote.endpoint.empty()) {
+        // Remote mode: the daemon simulates; this process is a
+        // protocol client. Interactive I/O cannot cross the wire.
+        try {
+            return runRemote(remote, opts, file, cycles, trace, stats,
+                             saveState, restoreFrom);
+        } catch (const SimError &e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+    }
+    if (remote.serverStats || remote.shutdownServer ||
+        remote.evictAfter || remote.closeAfter ||
+        !remote.session.empty()) {
+        std::cerr << "--session/--server-stats/--shutdown-server/"
+                     "--evict/--close-session need --connect\n";
+        return 1;
+    }
+
     if (file.empty() && manifest.empty()) {
         usage();
         return 1;

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * `asim-serve` — the multi-tenant simulation daemon (DESIGN.md §9).
+ *
+ * Usage: asim-serve [options]
+ *   --socket=PATH          listen on a Unix-domain socket at PATH
+ *   --tcp=PORT             also listen on loopback TCP (0 picks an
+ *                          ephemeral port, printed on startup)
+ *   --state-dir=DIR        parked-session artifacts (default
+ *                          asim-serve-state)
+ *   --evict-after-ms=N     park sessions idle longer than N ms
+ *                          (default 60000; 0 disables the sweep)
+ *   --quiet                no startup/shutdown chatter
+ *
+ * The daemon runs until a client sends SHUTDOWN or it receives
+ * SIGINT/SIGTERM; both paths park every live session to --state-dir
+ * so a restarted daemon resumes them by name. Drive it with
+ * `asim-run --connect=<endpoint>` or the serve/client.hh library.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hh"
+#include "support/logging.hh"
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+void
+onSignal(int)
+{
+    gStop = true;
+}
+
+void
+usage()
+{
+    std::cerr << "usage: asim-serve [--socket=PATH] [--tcp=PORT]\n"
+              << "                  [--state-dir=DIR] "
+                 "[--evict-after-ms=N] [--quiet]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace asim;
+
+    serve::ServeOptions opts;
+    opts.evictAfterMs = 60000;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0) {
+            opts.unixPath = arg.substr(9);
+        } else if (arg.rfind("--tcp=", 0) == 0) {
+            long long port = std::atoll(arg.c_str() + 6);
+            if (port < 0 || port > 65535) {
+                std::cerr << "--tcp wants a port in 0..65535\n";
+                return 1;
+            }
+            opts.tcpPort = static_cast<int>(port);
+        } else if (arg.rfind("--state-dir=", 0) == 0) {
+            opts.stateDir = arg.substr(12);
+        } else if (arg.rfind("--evict-after-ms=", 0) == 0) {
+            opts.evictAfterMs = std::atoll(arg.c_str() + 17);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (opts.unixPath.empty() && opts.tcpPort < 0) {
+        std::cerr << "asim-serve needs --socket=PATH and/or "
+                     "--tcp=PORT\n";
+        usage();
+        return 1;
+    }
+
+    try {
+        serve::ServeServer server(opts);
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        server.start();
+        if (!quiet) {
+            if (!opts.unixPath.empty())
+                std::cerr << "asim-serve: listening on unix:"
+                          << opts.unixPath << "\n";
+            if (opts.tcpPort >= 0)
+                std::cerr << "asim-serve: listening on tcp:127.0.0.1:"
+                          << server.tcpPort() << "\n";
+            std::cerr << "asim-serve: state dir " << opts.stateDir
+                      << ", evict after " << opts.evictAfterMs
+                      << " ms\n";
+        }
+        while (!server.waitForShutdown(200) && !gStop) {
+        }
+        if (!quiet) {
+            std::cerr << "asim-serve: "
+                      << (gStop ? "signal" : "shutdown command")
+                      << ", parking sessions\n"
+                      << server.statsJson() << "\n";
+        }
+        server.stop(/*parkSessions=*/true);
+        return 0;
+    } catch (const SimError &e) {
+        std::cerr << "asim-serve: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,785 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "codegen/native.hh"
+#include "sim/checkpoint.hh"
+#include "support/logging.hh"
+
+namespace asim::serve {
+
+namespace {
+
+/** Session .meta sidecar magic + version (DESIGN.md §9). */
+constexpr std::string_view kMetaMagic = "ASRVMETA";
+constexpr uint32_t kMetaVersion = 1;
+
+/** Session names become filename components under stateDir, so the
+ *  charset is locked down hard (no separators, no empty, bounded). */
+bool
+validSessionName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int32_t>
+readInputs(ByteReader &r)
+{
+    uint64_t n = r.count("open input count", 1u << 24, 4);
+    std::vector<int32_t> inputs;
+    inputs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        inputs.push_back(r.i32("open input"));
+    return inputs;
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ServeServer::ServeServer(const ServeOptions &opts)
+    : opts_(opts)
+{
+    if (opts_.unixPath.empty() && opts_.tcpPort < 0)
+        throw SimError("asim-serve needs a unix path or a tcp port");
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.stateDir, ec);
+    if (ec) {
+        throw SimError("cannot create state directory " +
+                       opts_.stateDir + ": " + ec.message());
+    }
+    if (!opts_.unixPath.empty())
+        unixListener_ = listenUnix(opts_.unixPath);
+    if (opts_.tcpPort >= 0)
+        tcpListener_ = listenTcp(static_cast<uint16_t>(opts_.tcpPort));
+
+    int fds[2];
+    if (::pipe(fds) != 0)
+        throw SimError(std::string("cannot create wake pipe: ") +
+                       std::strerror(errno));
+    wakeRead_ = fds[0];
+    wakeWrite_ = fds[1];
+    nativeCompilesAtStart_ = nativeCompileCount();
+}
+
+ServeServer::~ServeServer()
+{
+    stop(true);
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+void
+ServeServer::start()
+{
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ServeServer::wake()
+{
+    char b = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &b, 1);
+}
+
+uint16_t
+ServeServer::tcpPort() const
+{
+    return localPort(tcpListener_);
+}
+
+bool
+ServeServer::waitForShutdown(int timeoutMs)
+{
+    std::unique_lock<std::mutex> lock(shutdownMu_);
+    shutdownCv_.wait_for(lock, std::chrono::milliseconds(timeoutMs),
+                         [this] { return shutdownRequested_.load(); });
+    return shutdownRequested_;
+}
+
+void
+ServeServer::stop(bool parkSessions)
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMu_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    stopping_ = true;
+    wake();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Unblock every connection thread sitting in a read, then join.
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        for (auto &c : conns_)
+            c->channel.socket().shutdownBoth();
+    }
+    for (;;) {
+        std::unique_ptr<Conn> conn;
+        {
+            std::lock_guard<std::mutex> lock(connsMu_);
+            if (conns_.empty())
+                break;
+            conn = std::move(conns_.back());
+            conns_.pop_back();
+        }
+        if (conn->thread.joinable())
+            conn->thread.join();
+    }
+
+    unixListener_.close();
+    tcpListener_.close();
+    if (!opts_.unixPath.empty())
+        ::unlink(opts_.unixPath.c_str());
+
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        for (auto &[name, s] : byName_)
+            sessions.push_back(s);
+        byName_.clear();
+        byId_.clear();
+    }
+    for (auto &s : sessions) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (s->parked || !s->sim)
+            continue;
+        if (parkSessions) {
+            try {
+                parkSession(*s);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "asim-serve: cannot park session %s: %s\n",
+                             s->name.c_str(), e.what());
+            }
+        } else {
+            s->sim.reset(); // dropped, as a killed daemon would
+            s->out.reset();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop + connection threads
+
+void
+ServeServer::acceptLoop()
+{
+    while (!stopping_) {
+        std::vector<int> fds{wakeRead_};
+        std::vector<Socket *> listeners{nullptr};
+        if (unixListener_.valid()) {
+            fds.push_back(unixListener_.fd());
+            listeners.push_back(&unixListener_);
+        }
+        if (tcpListener_.valid()) {
+            fds.push_back(tcpListener_.fd());
+            listeners.push_back(&tcpListener_);
+        }
+        int idx = pollReadable(fds, opts_.sweepIntervalMs);
+        if (stopping_)
+            break;
+        if (idx == 0) {
+            char buf[64];
+            [[maybe_unused]] ssize_t n =
+                ::read(wakeRead_, buf, sizeof(buf));
+        } else if (idx > 0) {
+            Socket sock = acceptConnection(*listeners[idx]);
+            if (sock.valid()) {
+                auto conn = std::make_unique<Conn>();
+                conn->channel = FrameChannel(std::move(sock));
+                Conn *raw = conn.get();
+                {
+                    std::lock_guard<std::mutex> lock(connsMu_);
+                    conns_.push_back(std::move(conn));
+                }
+                raw->thread =
+                    std::thread([this, raw] { connLoop(raw); });
+            }
+        }
+        sweepIdle();
+        reapConns();
+    }
+}
+
+void
+ServeServer::reapConns()
+{
+    std::vector<std::unique_ptr<Conn>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if ((*it)->done) {
+                finished.push_back(std::move(*it));
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &c : finished) {
+        if (c->thread.joinable())
+            c->thread.join();
+    }
+}
+
+void
+ServeServer::connLoop(Conn *conn)
+{
+    std::string req;
+    while (!stopping_ && conn->channel.readFrame(req)) {
+        std::string resp = handleRequest(req, *conn);
+        conn->channel.queueFrame(resp);
+        if (conn->dropAfterReply)
+            break;
+    }
+    conn->channel.flush(); // best effort; the peer may be gone
+    if (conn->shutdownAfterReply) {
+        // The SHUTDOWN reply is on the wire; now let stop() run.
+        shutdownRequested_ = true;
+        shutdownCv_.notify_all();
+        wake();
+    }
+    conn->done = true;
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+
+std::string
+ServeServer::handleRequest(std::string_view body, Conn &conn)
+{
+    try {
+        ByteReader r(body, "request");
+        auto op = static_cast<Op>(r.u8("opcode"));
+        if (!conn.helloDone && op != Op::Hello) {
+            conn.dropAfterReply = true;
+            return errorResponse("expected HELLO first");
+        }
+        switch (op) {
+        case Op::Hello: {
+            std::string magic = r.str("hello magic");
+            uint32_t version = r.u32("hello version");
+            if (magic != kHelloMagic || version != kProtocolVersion) {
+                conn.dropAfterReply = true;
+                return errorResponse(
+                    "protocol mismatch: want " +
+                    std::string(kHelloMagic) + " v" +
+                    std::to_string(kProtocolVersion) + ", got " +
+                    magic + " v" + std::to_string(version));
+            }
+            conn.helloDone = true;
+            ByteWriter w;
+            w.u8(static_cast<uint8_t>(Status::Ok));
+            w.u32(kProtocolVersion);
+            w.str("asim-serve");
+            return std::move(w).take();
+        }
+        case Op::Open:
+            return handleOpen(r);
+        case Op::Run:
+            return handleRun(r);
+        case Op::Value:
+            return handleValue(r);
+        case Op::Snapshot:
+            return handleSnapshot(r);
+        case Op::Restore:
+            return handleRestore(r);
+        case Op::Evict:
+            return handleEvict(r);
+        case Op::Close:
+            return handleClose(r);
+        case Op::Stats: {
+            ByteWriter w;
+            w.u8(static_cast<uint8_t>(Status::Ok));
+            w.str(statsJson());
+            return std::move(w).take();
+        }
+        case Op::Shutdown: {
+            // Don't signal yet: stop() races the reply otherwise.
+            // connLoop flushes this frame first, then signals.
+            conn.dropAfterReply = true;
+            conn.shutdownAfterReply = true;
+            ByteWriter w;
+            w.u8(static_cast<uint8_t>(Status::Ok));
+            return std::move(w).take();
+        }
+        }
+        conn.dropAfterReply = true;
+        return errorResponse("unknown opcode");
+    } catch (const std::exception &e) {
+        return errorResponse(e.what());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session helpers
+
+std::string
+ServeServer::ckptPath(const std::string &name) const
+{
+    return opts_.stateDir + "/" + name + ".ckpt";
+}
+
+std::string
+ServeServer::metaPath(const std::string &name) const
+{
+    return opts_.stateDir + "/" + name + ".meta";
+}
+
+std::shared_ptr<ServeServer::Session>
+ServeServer::findSession(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(sessionsMu_);
+    auto it = byId_.find(id);
+    if (it == byId_.end())
+        throw SimError("unknown session id " + std::to_string(id));
+    return it->second;
+}
+
+/** Parse a .meta sidecar into a parked Session (no id yet). The CRC
+ *  trailer is verified before any field is trusted, same discipline
+ *  as checkpoint files. */
+std::shared_ptr<ServeServer::Session>
+ServeServer::sessionFromMeta(const std::string &name) const
+{
+    const std::string path = metaPath(name);
+    std::string bytes;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            return nullptr;
+        char buf[1 << 16];
+        size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.append(buf, got);
+        std::fclose(f);
+    }
+    if (bytes.size() < 4)
+        throw SimError(path + ": truncated session meta");
+    std::string_view payload(bytes.data(), bytes.size() - 4);
+    ByteReader tail(std::string_view(bytes).substr(bytes.size() - 4),
+                    path);
+    if (crc32(payload) != tail.u32("meta checksum"))
+        throw SimError(path + ": session meta checksum mismatch");
+
+    ByteReader r(payload, path);
+    if (r.bytes(kMetaMagic.size(), "meta magic") != kMetaMagic)
+        throw SimError(path + ": not a session meta file");
+    uint32_t version = r.u32("meta version");
+    if (version > kMetaVersion) {
+        throw SimError(path + ": meta version " +
+                       std::to_string(version) +
+                       " is newer than this build supports (" +
+                       std::to_string(kMetaVersion) + ")");
+    }
+    auto s = std::make_shared<Session>();
+    s->name = name;
+    s->specHash = r.u64("meta spec hash");
+    s->engine = r.str("meta engine");
+    s->specText = r.str("meta spec text");
+    s->io = static_cast<SessionIo>(r.u8("meta io mode"));
+    s->trace = r.u8("meta trace flag") != 0;
+    s->aluFixed = r.u8("meta alu flag") != 0;
+    s->inputs = readInputs(r);
+    s->pendingOutput = r.str("meta pending output");
+    s->parked = true;
+    s->lastUsed = std::chrono::steady_clock::now();
+    return s;
+}
+
+void
+ServeServer::buildSimulation(Session &s, bool fromCheckpoint)
+{
+    SimulationOptions o;
+    o.specText = s.specText;
+    o.engine = s.engine;
+    o.config.aluSemantics =
+        s.aluFixed ? AluSemantics::Fixed : AluSemantics::Thesis;
+    o.ioMode =
+        s.io == SessionIo::Script ? IoMode::Script : IoMode::Null;
+    o.scriptInputs = s.inputs;
+    // One stream takes both scripted-I/O rendering and the trace so
+    // the session's byte stream is identical to a direct run wired
+    // the same way; seeded with output a previous incarnation
+    // produced but never returned.
+    s.out = std::make_unique<std::ostringstream>(
+        s.pendingOutput, std::ios::out | std::ios::ate);
+    s.pendingOutput.clear();
+    o.ioOut = s.out.get();
+    if (s.trace)
+        o.traceStream = s.out.get();
+    if (s.engine == "native")
+        compileRequests_ += 1;
+    s.sim = std::make_unique<Simulation>(o);
+    s.specHash = s.sim->specHash();
+    if (fromCheckpoint)
+        s.sim->restoreCheckpoint(ckptPath(s.name));
+    s.parked = false;
+}
+
+void
+ServeServer::ensureLive(Session &s)
+{
+    if (s.sim)
+        return;
+    buildSimulation(s, /*fromCheckpoint=*/true);
+    resumes_ += 1;
+}
+
+void
+ServeServer::parkSession(Session &s)
+{
+    if (!s.sim)
+        return;
+    // Checkpoint first, meta second: the meta file is the commit
+    // marker a resume requires, so a crash between the two writes
+    // leaves the previous parked generation (or nothing) — never a
+    // meta pointing at a missing or half-written checkpoint. Both
+    // writes are individually atomic (temp + rename).
+    s.sim->saveCheckpoint(ckptPath(s.name));
+    s.pendingOutput = s.out->str();
+
+    ByteWriter w;
+    w.bytes(kMetaMagic);
+    w.u32(kMetaVersion);
+    w.u64(s.specHash);
+    w.str(s.engine);
+    w.str(s.specText);
+    w.u8(static_cast<uint8_t>(s.io));
+    w.u8(s.trace ? 1 : 0);
+    w.u8(s.aluFixed ? 1 : 0);
+    w.u64(s.inputs.size());
+    for (int32_t v : s.inputs)
+        w.i32(v);
+    w.str(s.pendingOutput);
+    w.u32(crc32(w.data()));
+    writeFileAtomic(metaPath(s.name), w.data());
+
+    s.sim.reset();
+    s.out.reset();
+    s.parked = true;
+    evictions_ += 1;
+}
+
+void
+ServeServer::sweepIdle()
+{
+    if (opts_.evictAfterMs <= 0)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        for (auto &[name, s] : byName_)
+            if (!s->parked)
+                sessions.push_back(s);
+    }
+    for (auto &s : sessions) {
+        std::unique_lock<std::mutex> lock(s->mu, std::try_to_lock);
+        if (!lock.owns_lock() || s->parked || !s->sim)
+            continue; // busy sessions are not idle
+        auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now - s->lastUsed)
+                        .count();
+        if (idle < opts_.evictAfterMs)
+            continue;
+        try {
+            parkSession(*s);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "asim-serve: cannot evict session %s: %s\n",
+                         s->name.c_str(), e.what());
+            s->lastUsed = now; // back off instead of retrying hot
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Command handlers
+
+std::string
+ServeServer::handleOpen(ByteReader &r)
+{
+    std::string name = r.str("open name");
+    std::string specText = r.str("open spec");
+    std::string engine = r.str("open engine");
+    auto io = static_cast<SessionIo>(r.u8("open io mode"));
+    bool trace = r.u8("open trace flag") != 0;
+    bool aluFixed = r.u8("open alu flag") != 0;
+    std::vector<int32_t> inputs = readInputs(r);
+
+    if (!validSessionName(name)) {
+        throw SimError("bad session name (want 1-64 chars of "
+                       "[A-Za-z0-9._-]): " +
+                       name);
+    }
+    if (io != SessionIo::Null && io != SessionIo::Script)
+        throw SimError("bad io mode (interactive I/O cannot be "
+                       "multiplexed over sessions)");
+
+    std::shared_ptr<Session> s;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        auto it = byName_.find(name);
+        if (it != byName_.end()) {
+            s = it->second;
+        } else if ((s = sessionFromMeta(name))) {
+            // Parked by a previous daemon incarnation: adopt it.
+            s->id = nextId_++;
+            byName_[name] = s;
+            byId_[s->id] = s;
+        } else {
+            if (specText.empty()) {
+                throw SimError("unknown session \"" + name +
+                               "\" (attach needs an existing session; "
+                               "upload a spec to create one)");
+            }
+            s = std::make_shared<Session>();
+            s->id = nextId_++;
+            s->name = name;
+            s->specText = specText;
+            s->engine = engine.empty() ? "vm" : engine;
+            s->io = io;
+            s->inputs = inputs;
+            s->trace = trace;
+            s->aluFixed = aluFixed;
+            byName_[name] = s;
+            byId_[s->id] = s;
+            created = true;
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (created) {
+        try {
+            buildSimulation(*s, /*fromCheckpoint=*/false);
+            sessionsOpened_ += 1;
+        } catch (...) {
+            // A session that never built must not squat on the name.
+            std::lock_guard<std::mutex> mapLock(sessionsMu_);
+            byName_.erase(s->name);
+            byId_.erase(s->id);
+            throw;
+        }
+    } else if (!specText.empty() && specText != s->specText) {
+        throw SimError("session \"" + name +
+                       "\" already exists with a different spec");
+    }
+    bool resumed = !created && s->parked;
+    ensureLive(*s);
+    s->lastUsed = std::chrono::steady_clock::now();
+
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    w.u64(s->id);
+    w.u64(s->specHash);
+    w.u64(s->sim->cycle());
+    w.u8(resumed ? 1 : 0);
+    w.u64(static_cast<uint64_t>(s->sim->defaultCycles()));
+    return std::move(w).take();
+}
+
+std::string
+ServeServer::handleRun(ByteReader &r)
+{
+    uint64_t id = r.u64("run session id");
+    uint64_t cycles = r.u64("run cycles");
+    auto s = findSession(id);
+    std::lock_guard<std::mutex> lock(s->mu);
+    ensureLive(*s);
+    s->lastUsed = std::chrono::steady_clock::now();
+    runCommands_ += 1;
+
+    uint64_t t0 = nowNs();
+    s->sim->run(cycles);
+    uint64_t dt = nowNs() - t0;
+    {
+        std::lock_guard<std::mutex> statsLock(statsMu_);
+        auto &use = engineUse_[s->engine];
+        use.cycles += cycles;
+        use.ns += dt;
+    }
+    s->lastUsed = std::chrono::steady_clock::now();
+
+    std::string output = s->out->str();
+    s->out->str("");
+
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    w.u64(s->sim->cycle());
+    w.str(output);
+    return std::move(w).take();
+}
+
+std::string
+ServeServer::handleValue(ByteReader &r)
+{
+    uint64_t id = r.u64("value session id");
+    std::string name = r.str("value component");
+    auto s = findSession(id);
+    std::lock_guard<std::mutex> lock(s->mu);
+    ensureLive(*s);
+    s->lastUsed = std::chrono::steady_clock::now();
+    int32_t v = s->sim->value(name);
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    w.i32(v);
+    return std::move(w).take();
+}
+
+std::string
+ServeServer::handleSnapshot(ByteReader &r)
+{
+    uint64_t id = r.u64("snapshot session id");
+    auto s = findSession(id);
+    std::lock_guard<std::mutex> lock(s->mu);
+    ensureLive(*s);
+    s->lastUsed = std::chrono::steady_clock::now();
+    // The blob IS the checkpoint format — a client may write it to a
+    // file and asim-run --restore-from it directly.
+    std::string blob = encodeCheckpoint(s->sim->snapshot(),
+                                        s->specHash, s->engine);
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    w.str(blob);
+    return std::move(w).take();
+}
+
+std::string
+ServeServer::handleRestore(ByteReader &r)
+{
+    uint64_t id = r.u64("restore session id");
+    std::string blob = r.str("restore blob");
+    auto s = findSession(id);
+    std::lock_guard<std::mutex> lock(s->mu);
+    ensureLive(*s);
+    s->lastUsed = std::chrono::steady_clock::now();
+    CheckpointInfo info;
+    EngineSnapshot snap =
+        decodeCheckpoint(blob, "restore blob", &info);
+    if (info.specHash != s->specHash) {
+        throw SimError(
+            "restore blob belongs to a different specification "
+            "(blob hash " +
+            std::to_string(info.specHash) + ", session hash " +
+            std::to_string(s->specHash) + ")");
+    }
+    s->sim->restore(snap);
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    w.u64(s->sim->cycle());
+    return std::move(w).take();
+}
+
+std::string
+ServeServer::handleEvict(ByteReader &r)
+{
+    uint64_t id = r.u64("evict session id");
+    auto s = findSession(id);
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!s->parked)
+        parkSession(*s);
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    return std::move(w).take();
+}
+
+std::string
+ServeServer::handleClose(ByteReader &r)
+{
+    uint64_t id = r.u64("close session id");
+    auto s = findSession(id);
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        byName_.erase(s->name);
+        byId_.erase(s->id);
+    }
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->sim.reset();
+    s->out.reset();
+    ::unlink(ckptPath(s->name).c_str());
+    ::unlink(metaPath(s->name).c_str());
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Status::Ok));
+    return std::move(w).take();
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+std::string
+ServeServer::statsJson() const
+{
+    uint64_t live = 0;
+    uint64_t parked = 0;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        for (auto &[name, s] : byName_) {
+            if (s->parked)
+                ++parked;
+            else
+                ++live;
+        }
+    }
+    uint64_t requests = compileRequests_;
+    uint64_t compiles = nativeCompileCount() - nativeCompilesAtStart_;
+    uint64_t hits = requests > compiles ? requests - compiles : 0;
+
+    std::ostringstream j;
+    j << "{\"sessions_live\":" << live
+      << ",\"sessions_parked\":" << parked
+      << ",\"sessions_opened\":" << sessionsOpened_.load()
+      << ",\"evictions\":" << evictions_.load()
+      << ",\"resumes\":" << resumes_.load()
+      << ",\"run_commands\":" << runCommands_.load()
+      << ",\"native_compile_requests\":" << requests
+      << ",\"native_compile_cache_hits\":" << hits << ",\"engines\":{";
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        bool first = true;
+        for (auto &[engine, use] : engineUse_) {
+            if (!first)
+                j << ",";
+            first = false;
+            double perSec =
+                use.ns > 0 ? 1e9 * static_cast<double>(use.cycles) /
+                                 static_cast<double>(use.ns)
+                           : 0.0;
+            j << "\"" << engine << "\":{\"cycles\":" << use.cycles
+              << ",\"ns\":" << use.ns
+              << ",\"cycles_per_sec\":" << perSec << "}";
+        }
+    }
+    j << "}}";
+    return j.str();
+}
+
+} // namespace asim::serve

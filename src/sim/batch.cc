@@ -299,8 +299,9 @@ BatchRunner::run()
 
     // Persist one instance's progress. Write order is the crash
     // contract: output text (tagged with its cycle) first, the
-    // checkpoint second, the completion marker last. A kill between
-    // writes leaves the .io tag and the checkpoint cycle
+    // captured trace sidecar second (same tag discipline), the
+    // checkpoint third, the completion marker last. A kill between
+    // writes leaves a text tag and the checkpoint cycle
     // disagreeing — which resume *detects* and answers by
     // restarting that instance from zero (correctness over saved
     // progress), never by stitching mismatched halves together.
@@ -309,6 +310,11 @@ BatchRunner::run()
         writeFileAtomic(instancePath(i, ".io"),
                         std::to_string(w.sim->cycle()) + "\n" +
                             w.io.str());
+        if (w.traceSink) {
+            writeFileAtomic(instancePath(i, ".trace"),
+                            std::to_string(w.sim->cycle()) + "\n" +
+                                w.trace.str());
+        }
         w.sim->saveCheckpoint(instancePath(i, ".ckpt"));
         if (complete) {
             writeFileAtomic(instancePath(i, ".done"),
@@ -317,12 +323,13 @@ BatchRunner::run()
         }
     };
 
-    // The .io artifact: "<cycle>\n" then the output text verbatim.
-    // Returns false when the file is missing/corrupt or its tag does
-    // not match `cycle`.
-    auto loadIoAt = [&](size_t i, uint64_t cycle, std::string *text) {
+    // A tagged text artifact (.io or .trace): "<cycle>\n" then the
+    // text verbatim. Returns false when the file is missing/corrupt
+    // or its tag does not match `cycle`.
+    auto loadTaggedAt = [&](size_t i, const char *ext, uint64_t cycle,
+                            std::string *text) {
         bool found = false;
-        std::string blob = readFileOr(instancePath(i, ".io"), &found);
+        std::string blob = readFileOr(instancePath(i, ext), &found);
         if (!found)
             return false;
         char *end = nullptr;
@@ -332,6 +339,9 @@ BatchRunner::run()
         *text = blob.substr(
             static_cast<size_t>(end + 1 - blob.c_str()));
         return true;
+    };
+    auto loadIoAt = [&](size_t i, uint64_t cycle, std::string *text) {
+        return loadTaggedAt(i, ".io", cycle, text);
     };
 
     // Construction is serial: any SpecError/SimError here is a batch
@@ -377,6 +387,15 @@ BatchRunner::run()
                                instancePath(i, ".io") +
                                " does not match the checkpoint)");
             }
+            if (job.captureTrace &&
+                !loadTaggedAt(i, ".trace", snap.cycle,
+                              &r.traceText)) {
+                throw SimError("batch checkpoint artifacts for "
+                               "instance " + std::to_string(i) +
+                               " are inconsistent (" +
+                               instancePath(i, ".trace") +
+                               " does not match the checkpoint)");
+            }
             w.skip = true;
             r.resumed = true;
             r.cyclesRun = plan.doneCycles;
@@ -400,19 +419,28 @@ BatchRunner::run()
         w.sim = std::make_unique<Simulation>(opts);
 
         // Interrupted (or budget-extended) instance: restore the
-        // checkpoint and preload the output it had produced, so the
-        // continuation's channels match an uninterrupted run's. A
-        // kill between the .io and .ckpt writes leaves their cycles
-        // disagreeing — then this instance restarts from zero
-        // rather than resume with torn output.
+        // checkpoint and preload the output (and captured trace) it
+        // had produced, so the continuation's channels match an
+        // uninterrupted run's. A kill between the text and .ckpt
+        // writes leaves their cycles disagreeing — then this
+        // instance restarts from zero rather than resume with torn
+        // output or a truncated trace.
         if (plan.hasCheckpoint) {
             EngineSnapshot snap =
                 loadCheckpoint(instancePath(i, ".ckpt"), *rs);
             std::string saved;
-            if (loadIoAt(i, snap.cycle, &saved)) {
+            std::string savedTrace;
+            bool intact = loadIoAt(i, snap.cycle, &saved);
+            if (intact && job.captureTrace) {
+                intact = loadTaggedAt(i, ".trace", snap.cycle,
+                                      &savedTrace);
+            }
+            if (intact) {
                 w.sim->restore(snap);
                 w.io.str(saved);
                 w.io.seekp(0, std::ios::end);
+                w.trace.str(savedTrace);
+                w.trace.seekp(0, std::ios::end);
                 r.resumed = true;
             }
         }
@@ -432,11 +460,30 @@ BatchRunner::run()
         auto t0 = std::chrono::steady_clock::now();
         try {
             if (!job.watchName.empty()) {
-                uint64_t left = w.budget > w.sim->cycle()
-                                    ? w.budget - w.sim->cycle()
-                                    : 0;
-                w.sim->runUntilValue(job.watchName, job.watchValue,
-                                     left);
+                // Watchpoint runs honor checkpointEvery too: chunk
+                // the search and persist between chunks. The hit
+                // check between chunks matches runUntilValue's own
+                // (after each cycle), so chunking never changes
+                // where the run stops.
+                for (;;) {
+                    uint64_t left = w.budget > w.sim->cycle()
+                                        ? w.budget - w.sim->cycle()
+                                        : 0;
+                    if (left == 0)
+                        break;
+                    uint64_t chunk = left;
+                    if (checkpointing && opts_.checkpointEvery != 0)
+                        chunk = std::min(chunk,
+                                         opts_.checkpointEvery);
+                    w.sim->runUntilValue(job.watchName,
+                                         job.watchValue, chunk);
+                    if (w.sim->value(job.watchName) ==
+                        job.watchValue)
+                        break;
+                    if (checkpointing &&
+                        w.sim->cycle() < w.budget)
+                        persist(i, w, r, /*complete=*/false);
+                }
                 r.watchpointHit =
                     w.sim->value(job.watchName) == job.watchValue;
                 r.cyclesRun = w.sim->cycle();

@@ -129,16 +129,20 @@ struct BatchOptions
 
     /** When set, every instance leaves durable artifacts here
      *  (sim/checkpoint.hh): `inst-<i>.ckpt` (latest checkpoint),
-     *  `inst-<i>.io` (scripted output up to that checkpoint), and —
-     *  on completion — `inst-<i>.done`. A later runner with the
+     *  `inst-<i>.io` (scripted output up to that checkpoint), for
+     *  captureTrace jobs `inst-<i>.trace` (captured trace up to
+     *  that checkpoint, same cycle-tag discipline), and — on
+     *  completion — `inst-<i>.done`. A later runner with the
      *  same job list calls resumeFromCheckpoints() to skip finished
-     *  instances and continue interrupted ones. Created on demand. */
+     *  instances and continue interrupted ones (resumed instances
+     *  merge the saved output/trace with the continuation's, so the
+     *  final channels match an uninterrupted run). Created on
+     *  demand. */
     std::string checkpointDir;
 
     /** Cycles between periodic mid-run checkpoints (plain-budget
-     *  jobs; watchpoint jobs checkpoint only on completion).
-     *  0 = checkpoint only when an instance finishes. Requires
-     *  checkpointDir. */
+     *  and watchpoint jobs alike). 0 = checkpoint only when an
+     *  instance finishes. Requires checkpointDir. */
     uint64_t checkpointEvery = 0;
 };
 

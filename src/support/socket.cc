@@ -1,0 +1,235 @@
+#include "support/socket.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace asim {
+
+namespace {
+
+/** A write to a disconnected peer must fail with EPIPE, never kill
+ *  the process (same rule as support/subprocess.cc). */
+void
+ignoreSigpipe()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &endpoint)
+{
+    throw SimError(what + " " + endpoint + ": " +
+                   std::strerror(errno));
+}
+
+} // namespace
+
+long
+Socket::readSome(char *buf, size_t n)
+{
+    for (;;) {
+        ssize_t r = ::read(fd_, buf, n);
+        if (r >= 0)
+            return static_cast<long>(r);
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+bool
+Socket::writeAll(std::string_view data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t w = ::write(fd_, data.data() + off, data.size() - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket
+listenUnix(const std::string &path)
+{
+    ignoreSigpipe();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw SimError("unix socket path too long (" +
+                       std::to_string(path.size()) + " bytes, max " +
+                       std::to_string(sizeof(addr.sun_path) - 1) +
+                       "): " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("cannot create unix socket", path);
+    Socket sock(fd);
+    ::unlink(path.c_str()); // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fail("cannot bind unix socket", path);
+    if (::listen(fd, 64) != 0)
+        fail("cannot listen on unix socket", path);
+    return sock;
+}
+
+Socket
+listenTcp(uint16_t port)
+{
+    ignoreSigpipe();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("cannot create tcp socket", "loopback");
+    Socket sock(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fail("cannot bind tcp port", std::to_string(port));
+    if (::listen(fd, 64) != 0)
+        fail("cannot listen on tcp port", std::to_string(port));
+    return sock;
+}
+
+uint16_t
+localPort(const Socket &listener)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener.fd(),
+                      reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        fail("cannot read local port of fd",
+             std::to_string(listener.fd()));
+    return ntohs(addr.sin_port);
+}
+
+Socket
+acceptConnection(Socket &listener)
+{
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    return Socket(fd); // invalid on failure; the caller polls again
+}
+
+Socket
+connectUnix(const std::string &path)
+{
+    ignoreSigpipe();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw SimError("unix socket path too long (" +
+                       std::to_string(path.size()) + " bytes): " +
+                       path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("cannot create unix socket", path);
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        fail("cannot connect to unix socket", path);
+    return sock;
+}
+
+Socket
+connectTcp(const std::string &host, uint16_t port)
+{
+    ignoreSigpipe();
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw SimError("tcp endpoints want a numeric IPv4 host, got: " +
+                       host);
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("cannot create tcp socket", host);
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        fail("cannot connect to", host + ":" + std::to_string(port));
+    return sock;
+}
+
+Socket
+connectEndpoint(const std::string &endpoint)
+{
+    if (endpoint.rfind("unix:", 0) == 0)
+        return connectUnix(endpoint.substr(5));
+    if (endpoint.rfind("tcp:", 0) == 0) {
+        std::string rest = endpoint.substr(4);
+        auto colon = rest.rfind(':');
+        if (colon == std::string::npos) {
+            throw SimError("tcp endpoint wants tcp:<host>:<port>, "
+                           "got: " + endpoint);
+        }
+        long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+        if (port <= 0 || port > 65535) {
+            throw SimError("bad tcp port in endpoint: " + endpoint);
+        }
+        return connectTcp(rest.substr(0, colon),
+                          static_cast<uint16_t>(port));
+    }
+    return connectUnix(endpoint);
+}
+
+int
+pollReadable(const std::vector<int> &fds, int timeoutMs)
+{
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds.size());
+    for (int fd : fds)
+        pfds.push_back(pollfd{fd, POLLIN, 0});
+    int n = ::poll(pfds.data(), pfds.size(), timeoutMs);
+    if (n <= 0)
+        return -1; // timeout or EINTR: the caller loops
+    for (size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents != 0)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace asim

@@ -1,0 +1,626 @@
+/** @file
+ * asim-serve tests: protocol round trips against an in-process
+ * ServeServer, byte-identity of session output versus direct
+ * Simulation runs, concurrent multi-tenant sessions, pipelined
+ * stepping, explicit and idle-sweep eviction with transparent
+ * resume, daemon-restart (and simulated-kill) recovery, the error
+ * surface, and end-to-end runs of the real `asim-serve` and
+ * `asim-run --connect` binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machines/counter.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/checkpoint.hh"
+#include "sim/native_engine.hh"
+#include "sim/simulation.hh"
+
+namespace asim::serve {
+namespace {
+
+const char *kEchoSpec = "# integer echo\n"
+                        "= 9\n"
+                        "in out .\n"
+                        "M in 1 0 2 1\n"
+                        "M out 1 in 3 1\n"
+                        ".\n";
+
+const std::vector<int32_t> kEchoInputs = {11, 22, 33, 44, 55,
+                                          66, 77, 88, 99, 110};
+
+/** The session's byte stream, computed the direct way: one stream
+ *  takes both scripted-I/O rendering and (optionally) the trace. */
+std::string
+directOutput(const ServeClient::OpenOptions &o, uint64_t cycles)
+{
+    std::ostringstream os;
+    SimulationOptions opts;
+    opts.specText = o.specText;
+    opts.ioMode =
+        o.io == SessionIo::Script ? IoMode::Script : IoMode::Null;
+    opts.scriptInputs = o.inputs;
+    opts.config.aluSemantics =
+        o.aluFixed ? AluSemantics::Fixed : AluSemantics::Thesis;
+    opts.ioOut = &os;
+    if (o.trace)
+        opts.traceStream = &os;
+    Simulation sim(opts);
+    sim.run(cycles);
+    return os.str();
+}
+
+ServeClient::OpenOptions
+echoOpen(const std::string &name)
+{
+    ServeClient::OpenOptions o;
+    o.name = name;
+    o.specText = kEchoSpec;
+    o.io = SessionIo::Script;
+    o.inputs = kEchoInputs;
+    return o;
+}
+
+ServeClient::OpenOptions
+counterOpen(const std::string &name)
+{
+    ServeClient::OpenOptions o;
+    o.name = name;
+    o.specText = counterSpec(4, 100);
+    o.trace = true;
+    return o;
+}
+
+/** Scratch area + short socket path (sockaddr_un caps paths at
+ *  ~108 bytes, so everything lives directly under /tmp). */
+class Serve : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const char *test = ::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name();
+        base_ = "/tmp/asrv_" + std::to_string(::getpid()) + "_" +
+                test;
+        std::filesystem::remove_all(base_);
+        std::filesystem::create_directories(base_);
+        sock_ = base_ + "/s";
+    }
+
+    void TearDown() override { std::filesystem::remove_all(base_); }
+
+    ServeOptions
+    serveOpts() const
+    {
+        ServeOptions o;
+        o.unixPath = sock_;
+        o.stateDir = base_ + "/state";
+        return o;
+    }
+
+    std::string base_;
+    std::string sock_;
+};
+
+// ---------------------------------------------------------------------
+// Round trips and byte-identity against direct runs.
+// ---------------------------------------------------------------------
+
+TEST_F(Serve, RoundTripMatchesDirectSimulation)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto open = echoOpen("echo");
+    auto session = client.open(open);
+    EXPECT_NE(session.id, 0u);
+    EXPECT_EQ(session.cycle, 0u);
+    EXPECT_FALSE(session.resumed);
+    // "= 9" is 10 thesis iterations (Simulation::defaultCycles).
+    EXPECT_EQ(session.defaultCycles, 10);
+
+    auto run = client.run(session.id, 9);
+    EXPECT_EQ(run.cycle, 9u);
+    EXPECT_EQ(run.output, directOutput(open, 9));
+    EXPECT_EQ(client.value(session.id, "out"), 99);
+    client.closeSession(session.id);
+    EXPECT_THROW(client.run(session.id, 1), SimError);
+}
+
+TEST_F(Serve, TracedSessionStreamsTheTrace)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto open = counterOpen("counter");
+    auto session = client.open(open);
+    auto run = client.run(session.id, 6);
+    std::string expect = directOutput(open, 6);
+    ASSERT_FALSE(expect.empty());
+    EXPECT_EQ(run.output, expect);
+}
+
+TEST_F(Serve, SplitRunsStreamDeltas)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto open = echoOpen("echo");
+    auto session = client.open(open);
+    std::string total;
+    total += client.run(session.id, 3).output;
+    total += client.run(session.id, 2).output;
+    auto last = client.run(session.id, 4);
+    total += last.output;
+    EXPECT_EQ(last.cycle, 9u);
+    EXPECT_EQ(total, directOutput(open, 9));
+}
+
+TEST_F(Serve, PipelinedSteppingMatchesOneAtATime)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto open = echoOpen("echo");
+    auto session = client.open(open);
+    for (int i = 0; i < 9; ++i)
+        client.sendRun(session.id, 1);
+    std::string total;
+    uint64_t cycle = 0;
+    for (int i = 0; i < 9; ++i) {
+        auto reply = client.readRunReply();
+        EXPECT_EQ(reply.cycle, static_cast<uint64_t>(i + 1));
+        cycle = reply.cycle;
+        total += reply.output;
+    }
+    EXPECT_EQ(cycle, 9u);
+    EXPECT_EQ(total, directOutput(open, 9));
+}
+
+TEST_F(Serve, ReopeningAttachesToTheLiveSession)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient a(sock_);
+    auto open = echoOpen("shared");
+    auto first = a.open(open);
+    a.run(first.id, 4);
+
+    // Another connection attaches by name — with or without the
+    // spec text — and sees the same session mid-flight.
+    ServeClient b(sock_);
+    ServeClient::OpenOptions attach;
+    attach.name = "shared";
+    auto second = b.open(attach);
+    EXPECT_EQ(second.id, first.id);
+    EXPECT_EQ(second.cycle, 4u);
+    auto third = b.open(open);
+    EXPECT_EQ(third.id, first.id);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: many clients, many sessions, one daemon.
+// ---------------------------------------------------------------------
+
+TEST_F(Serve, ConcurrentClientsKeepSessionsByteIdentical)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    constexpr int kClients = 4;
+    constexpr int kSessionsEach = 2;
+    std::vector<std::thread> threads;
+    std::vector<std::string> errors(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                ServeClient client(sock_);
+                for (int s = 0; s < kSessionsEach; ++s) {
+                    std::string name = "t" + std::to_string(c) +
+                                       "_" + std::to_string(s);
+                    // Alternate tenants between the scripted echo
+                    // and the traced counter.
+                    auto open = (c + s) % 2 ? counterOpen(name)
+                                            : echoOpen(name);
+                    auto session = client.open(open);
+                    std::string total;
+                    for (int chunk = 0; chunk < 3; ++chunk)
+                        total +=
+                            client.run(session.id, 3).output;
+                    if (total != directOutput(open, 9))
+                        throw SimError(name + ": output diverged");
+                    client.closeSession(session.id);
+                }
+            } catch (const std::exception &e) {
+                errors[c] = e.what();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(errors[c], "") << "client " << c;
+}
+
+// ---------------------------------------------------------------------
+// Eviction: explicit, idle-sweep, and resume across restarts.
+// ---------------------------------------------------------------------
+
+TEST_F(Serve, ExplicitEvictThenContinueIsByteIdentical)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto open = echoOpen("parked");
+    auto session = client.open(open);
+    std::string total = client.run(session.id, 4).output;
+
+    client.evict(session.id);
+    EXPECT_TRUE(std::filesystem::exists(base_ +
+                                        "/state/parked.ckpt"));
+    EXPECT_TRUE(std::filesystem::exists(base_ +
+                                        "/state/parked.meta"));
+
+    // Any command transparently resumes the parked session.
+    auto run = client.run(session.id, 5);
+    total += run.output;
+    EXPECT_EQ(run.cycle, 9u);
+    EXPECT_EQ(total, directOutput(open, 9));
+
+    std::string stats = server.statsJson();
+    EXPECT_NE(stats.find("\"evictions\":1"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"resumes\":1"), std::string::npos)
+        << stats;
+}
+
+TEST_F(Serve, IdleSweepParksSessionsAutomatically)
+{
+    ServeOptions o = serveOpts();
+    o.evictAfterMs = 50;
+    o.sweepIntervalMs = 10;
+    ServeServer server(o);
+    server.start();
+
+    ServeClient client(sock_);
+    auto open = counterOpen("idle");
+    auto session = client.open(open);
+    std::string total = client.run(session.id, 2).output;
+
+    // The sweep parks the idle session without any client action.
+    std::string meta = base_ + "/state/idle.meta";
+    for (int i = 0; i < 200 && !std::filesystem::exists(meta); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(std::filesystem::exists(meta)) << "never swept";
+
+    total += client.run(session.id, 4).output;
+    EXPECT_EQ(total, directOutput(open, 6));
+}
+
+TEST_F(Serve, GracefulRestartResumesSessionsByName)
+{
+    auto open = echoOpen("durable");
+    std::string total;
+    uint64_t firstHash = 0;
+    {
+        ServeServer server(serveOpts());
+        server.start();
+        ServeClient client(sock_);
+        auto session = client.open(open);
+        firstHash = session.specHash;
+        total += client.run(session.id, 4).output;
+        server.stop(/*parkSessions=*/true);
+    }
+    {
+        ServeServer server(serveOpts());
+        server.start();
+        ServeClient client(sock_);
+        // Attach without re-uploading the spec: the parked meta
+        // carries the full rebuild recipe.
+        ServeClient::OpenOptions attach;
+        attach.name = "durable";
+        auto session = client.open(attach);
+        EXPECT_TRUE(session.resumed);
+        EXPECT_EQ(session.cycle, 4u);
+        EXPECT_EQ(session.specHash, firstHash);
+        auto run = client.run(session.id, 5);
+        total += run.output;
+        EXPECT_EQ(run.cycle, 9u);
+    }
+    EXPECT_EQ(total, directOutput(open, 9));
+}
+
+TEST_F(Serve, HardKillKeepsParkedSessionsLosesLiveOnes)
+{
+    auto openA = echoOpen("evicted");
+    auto openB = echoOpen("live");
+    std::string totalA;
+    {
+        ServeServer server(serveOpts());
+        server.start();
+        ServeClient client(sock_);
+        auto a = client.open(openA);
+        totalA += client.run(a.id, 4).output;
+        client.evict(a.id);
+        auto b = client.open(openB);
+        client.run(b.id, 4);
+        server.stop(/*parkSessions=*/false); // simulated SIGKILL
+    }
+    {
+        ServeServer server(serveOpts());
+        server.start();
+        ServeClient client(sock_);
+        ServeClient::OpenOptions attach;
+        attach.name = "evicted";
+        auto a = client.open(attach);
+        EXPECT_TRUE(a.resumed);
+        EXPECT_EQ(a.cycle, 4u);
+        totalA += client.run(a.id, 5).output;
+        EXPECT_EQ(totalA, directOutput(openA, 9));
+
+        attach.name = "live";
+        EXPECT_THROW(client.open(attach), SimError);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / restore over the wire.
+// ---------------------------------------------------------------------
+
+TEST_F(Serve, SnapshotBlobIsACheckpointFile)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto session = client.open(echoOpen("snap"));
+    client.run(session.id, 4);
+    std::string blob = client.snapshot(session.id);
+
+    CheckpointInfo info;
+    EngineSnapshot snap = decodeCheckpoint(blob, "mem", &info);
+    EXPECT_EQ(info.cycle, 4u);
+    EXPECT_EQ(info.specHash, session.specHash);
+    EXPECT_EQ(snap.cycle, 4u);
+
+    // ... and round-trips back through RESTORE.
+    client.run(session.id, 5);
+    EXPECT_EQ(client.restore(session.id, blob), 4u);
+    EXPECT_EQ(client.run(session.id, 5).cycle, 9u);
+}
+
+TEST_F(Serve, RestoreRejectsBlobsFromAnotherSpec)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto counter = client.open(counterOpen("counter"));
+    client.run(counter.id, 3);
+    std::string blob = client.snapshot(counter.id);
+
+    auto echo = client.open(echoOpen("echo"));
+    EXPECT_THROW(client.restore(echo.id, blob), SimError);
+}
+
+// ---------------------------------------------------------------------
+// The error surface: hostile or confused clients get diagnostics,
+// never a dead daemon.
+// ---------------------------------------------------------------------
+
+TEST_F(Serve, ErrorsAreDiagnosticAndNonFatal)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto bad = echoOpen("../evil");
+    EXPECT_THROW(client.open(bad), SimError);
+
+    ServeClient::OpenOptions attach;
+    attach.name = "nosuch";
+    EXPECT_THROW(client.open(attach), SimError);
+
+    EXPECT_THROW(client.run(12345, 1), SimError);
+    EXPECT_THROW(client.value(12345, "out"), SimError);
+
+    auto broken = echoOpen("broken");
+    broken.specText = "this is not a spec";
+    EXPECT_THROW(client.open(broken), SimError);
+
+    // A session name can't be reused for a different spec.
+    auto first = client.open(echoOpen("taken"));
+    auto conflict = counterOpen("taken");
+    EXPECT_THROW(client.open(conflict), SimError);
+
+    // The connection survives every error above.
+    EXPECT_EQ(client.run(first.id, 9).cycle, 9u);
+}
+
+TEST_F(Serve, TcpEndpointSpeaksTheSameProtocol)
+{
+    ServeOptions o = serveOpts();
+    o.unixPath.clear();
+    o.tcpPort = 0; // ephemeral
+    ServeServer server(o);
+    server.start();
+
+    ServeClient client("tcp:127.0.0.1:" +
+                       std::to_string(server.tcpPort()));
+    auto open = echoOpen("tcp");
+    auto session = client.open(open);
+    EXPECT_EQ(client.run(session.id, 9).output,
+              directOutput(open, 9));
+}
+
+TEST_F(Serve, StatsJsonReportsThroughputAndCacheHits)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto session = client.open(echoOpen("stats"));
+    client.run(session.id, 9);
+
+    std::string stats = client.statsJson();
+    EXPECT_NE(stats.find("\"sessions_opened\":1"),
+              std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"run_commands\":1"), std::string::npos);
+    EXPECT_NE(stats.find("\"vm\""), std::string::npos);
+    EXPECT_NE(stats.find("\"cycles\":9"), std::string::npos);
+    EXPECT_NE(stats.find("native_compile_cache_hits"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Native sessions: per-session subprocess isolation, shared
+// compile cache across tenants.
+// ---------------------------------------------------------------------
+
+class ServeNative : public Serve
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!NativeEngine::available())
+            GTEST_SKIP() << "no host compiler";
+        Serve::SetUp();
+    }
+};
+
+TEST_F(ServeNative, NativeTenantsShareTheCompileCache)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto openOne = counterOpen("native1");
+    openOne.engine = "native";
+    auto openTwo = counterOpen("native2");
+    openTwo.engine = "native";
+
+    auto one = client.open(openOne);
+    auto two = client.open(openTwo);
+    EXPECT_EQ(client.run(one.id, 6).output,
+              directOutput(openOne, 6));
+    EXPECT_EQ(client.run(two.id, 6).output,
+              directOutput(openTwo, 6));
+
+    // Two native OPENs of one spec: the second hits the cache.
+    std::string stats = client.statsJson();
+    EXPECT_NE(stats.find("\"native_compile_requests\":2"),
+              std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"native_compile_cache_hits\":1"),
+              std::string::npos)
+        << stats;
+}
+
+// ---------------------------------------------------------------------
+// The real binaries, end to end.
+// ---------------------------------------------------------------------
+
+#if defined(ASIM_SERVE_BIN) && defined(ASIM_RUN_BIN)
+
+TEST_F(Serve, DaemonBinaryServesAndShutsDownCleanly)
+{
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        std::string sockArg = "--socket=" + sock_;
+        std::string stateArg = "--state-dir=" + base_ + "/state";
+        ::execl(ASIM_SERVE_BIN, "asim-serve", sockArg.c_str(),
+                stateArg.c_str(), "--quiet", (char *)nullptr);
+        ::_exit(127);
+    }
+
+    // The daemon binds before serving; retry until it's up.
+    std::unique_ptr<ServeClient> client;
+    for (int i = 0; i < 100 && !client; ++i) {
+        try {
+            client = std::make_unique<ServeClient>(sock_);
+        } catch (const SimError &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
+    ASSERT_TRUE(client) << "daemon never came up";
+
+    auto open = echoOpen("e2e");
+    auto session = client->open(open);
+    EXPECT_EQ(client->run(session.id, 9).output,
+              directOutput(open, 9));
+    client->shutdownServer();
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "daemon exit status " << status;
+}
+
+TEST_F(Serve, AsimRunConnectMatchesDirectRun)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    std::string specFile = base_ + "/counter.spec";
+    std::ofstream(specFile) << counterSpec(4, 100);
+    std::string outFile = base_ + "/out.txt";
+
+    std::string cmd = std::string(ASIM_RUN_BIN) +
+                      " --connect=unix:" + sock_ +
+                      " --cycles=6 " + specFile + " > " + outFile +
+                      " 2> " + base_ + "/err.txt";
+    int rc = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(rc) && WEXITSTATUS(rc) == 0)
+        << "asim-run --connect failed, rc=" << rc;
+
+    std::ifstream got(outFile);
+    std::string output{std::istreambuf_iterator<char>(got),
+                       std::istreambuf_iterator<char>()};
+    // The CLI opens with trace on by default; the counter's starred
+    // component makes the trace the whole output.
+    auto open = counterOpen("ignored");
+    EXPECT_EQ(output, directOutput(open, 6));
+
+    // Admin mode: --server-stats without a spec.
+    std::string statsFile = base_ + "/stats.json";
+    cmd = std::string(ASIM_RUN_BIN) + " --connect=unix:" + sock_ +
+          " --server-stats > " + statsFile + " 2> /dev/null";
+    rc = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(rc) && WEXITSTATUS(rc) == 0);
+    std::ifstream sf(statsFile);
+    std::string stats{std::istreambuf_iterator<char>(sf),
+                      std::istreambuf_iterator<char>()};
+    EXPECT_NE(stats.find("\"sessions_opened\":1"),
+              std::string::npos)
+        << stats;
+}
+
+#endif // ASIM_SERVE_BIN && ASIM_RUN_BIN
+
+} // namespace
+} // namespace asim::serve

@@ -466,5 +466,194 @@ TEST_F(BatchResume, CorruptDoneMarkerIsDiagnostic)
     EXPECT_THROW(runner.resumeFromCheckpoints(), SimError);
 }
 
+// ---------------------------------------------------------------------
+// The .trace sidecar: captured traces persist under the same
+// cycle-tag discipline as .io, so resumed instances merge complete
+// traces instead of losing everything before the kill.
+// ---------------------------------------------------------------------
+
+/** A tracing job: the counter machine stars its count component. */
+static BatchJob
+tracedCounterJob(uint64_t cycles)
+{
+    BatchJob job;
+    job.options.specText = counterSpec(4, 100);
+    job.cycles = cycles;
+    job.captureTrace = true;
+    job.label = "counter";
+    return job;
+}
+
+TEST_F(BatchResume, TraceSidecarPersistsAndReloadsWhenSkipping)
+{
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    std::string reference;
+    {
+        BatchRunner runner(bopts);
+        runner.addJob(tracedCounterJob(6));
+        BatchResult first = runner.run();
+        ASSERT_TRUE(first.allOk());
+        reference = first.instances[0].traceText;
+        ASSERT_FALSE(reference.empty());
+        EXPECT_TRUE(
+            std::filesystem::exists(dir_ + "/inst-0.trace"));
+    }
+    // Skipped-as-done instances reload the trace from the sidecar.
+    BatchRunner again(bopts);
+    again.addJob(tracedCounterJob(6));
+    EXPECT_EQ(again.resumeFromCheckpoints(), 1u);
+    BatchResult second = again.run();
+    ASSERT_TRUE(second.allOk());
+    EXPECT_TRUE(second.instances[0].resumed);
+    EXPECT_EQ(second.instances[0].traceText, reference);
+}
+
+TEST_F(BatchResume, KilledRunMergesTraceAcrossResume)
+{
+    // Simulate a kill after the cycle-4 persist: checkpoint, .io,
+    // and .trace all tagged 4, no completion marker.
+    {
+        std::ostringstream ts;
+        SimulationOptions opts = tracedCounterJob(0).options;
+        opts.traceStream = &ts;
+        Simulation sim(opts);
+        sim.run(4);
+        std::filesystem::create_directories(dir_);
+        sim.saveCheckpoint(dir_ + "/inst-0.ckpt");
+        std::ofstream(dir_ + "/inst-0.io") << "4\n";
+        std::ofstream(dir_ + "/inst-0.trace") << "4\n" << ts.str();
+    }
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    BatchRunner runner(bopts);
+    runner.addJob(tracedCounterJob(9));
+    EXPECT_EQ(runner.resumeFromCheckpoints(), 1u);
+    BatchResult result = runner.run();
+    ASSERT_TRUE(result.allOk());
+    EXPECT_TRUE(result.instances[0].resumed);
+
+    BatchRunner ref;
+    ref.addJob(tracedCounterJob(9));
+    BatchResult refResult = ref.run();
+    EXPECT_EQ(result.instances[0].traceText,
+              refResult.instances[0].traceText)
+        << "resumed trace must merge to byte-identical";
+}
+
+TEST_F(BatchResume, TornTraceSidecarRestartsInsteadOfStitching)
+{
+    // .io matches the checkpoint but .trace carries a stale tag (a
+    // kill between the .io and .trace writes can't produce this
+    // order, but a corrupt file can): the tear restarts the
+    // instance, same answer as a torn .io.
+    {
+        std::ostringstream ts;
+        SimulationOptions opts = tracedCounterJob(0).options;
+        opts.traceStream = &ts;
+        Simulation sim(opts);
+        sim.run(4);
+        std::filesystem::create_directories(dir_);
+        sim.saveCheckpoint(dir_ + "/inst-0.ckpt");
+        std::ofstream(dir_ + "/inst-0.io") << "4\n";
+        std::ofstream(dir_ + "/inst-0.trace") << "2\nstale";
+    }
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    BatchRunner runner(bopts);
+    runner.addJob(tracedCounterJob(9));
+    EXPECT_EQ(runner.resumeFromCheckpoints(), 1u);
+    BatchResult result = runner.run();
+    ASSERT_TRUE(result.allOk());
+    EXPECT_FALSE(result.instances[0].resumed) << "tear detected";
+
+    BatchRunner ref;
+    ref.addJob(tracedCounterJob(9));
+    BatchResult refResult = ref.run();
+    EXPECT_EQ(result.instances[0].traceText,
+              refResult.instances[0].traceText);
+}
+
+// ---------------------------------------------------------------------
+// Watchpoint jobs honor checkpointEvery: periodic checkpoints during
+// the search, and a faulted search resumes from the last one.
+// ---------------------------------------------------------------------
+
+/** The batch_test fault machine: walks a counter off a 10-cell
+ *  memory at cycle 11. */
+static const char *kWalkOffSpec =
+    "# walks off the end of mem at cycle 11\n"
+    "count* next .\n"
+    "A next 4 count 1\n"
+    "M count 0 next 1 1\n"
+    "M mem count count 1 10\n"
+    ".\n";
+
+TEST_F(BatchResume, WatchpointJobsHonorCheckpointEvery)
+{
+    BatchJob job;
+    job.options.specText = kWalkOffSpec;
+    job.cycles = 50;
+    job.watchName = "count";
+    job.watchValue = -1; // unreachable: the fault fires first
+    job.label = "walkoff";
+
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    bopts.checkpointEvery = 4;
+    {
+        BatchRunner runner(bopts);
+        runner.addJob(job);
+        BatchResult result = runner.run();
+        ASSERT_TRUE(result.instances[0].faulted);
+        EXPECT_EQ(result.instances[0].cyclesRun, 10u);
+    }
+    // The fault killed the search mid-chunk, so the artifacts are
+    // the last *periodic* checkpoint — cycle 8 — with no completion
+    // marker. Before the fix, watchpoint runs left nothing at all.
+    ASSERT_TRUE(std::filesystem::exists(dir_ + "/inst-0.ckpt"));
+    EXPECT_EQ(peekCheckpoint(dir_ + "/inst-0.ckpt").cycle, 8u);
+    EXPECT_FALSE(std::filesystem::exists(dir_ + "/inst-0.done"));
+
+    // And the search resumes from it instead of restarting.
+    BatchRunner again(bopts);
+    again.addJob(job);
+    EXPECT_EQ(again.resumeFromCheckpoints(), 1u);
+    BatchResult result = again.run();
+    EXPECT_TRUE(result.instances[0].resumed);
+    EXPECT_TRUE(result.instances[0].faulted);
+    EXPECT_EQ(result.instances[0].cyclesRun, 10u);
+}
+
+TEST_F(BatchResume, WatchpointHitStopsAtTheSameCycleWhenChunked)
+{
+    // Chunking the watch search must not move where it stops: hit
+    // at cycle 5 with checkpointEvery=2 (chunk boundary at 4).
+    BatchJob job;
+    job.options.specText = counterSpec(4, 100);
+    job.cycles = 20;
+    job.watchName = "count";
+    job.watchValue = 5;
+    job.label = "counter";
+
+    BatchOptions plain;
+    BatchRunner ref(plain);
+    ref.addJob(job);
+    BatchResult refResult = ref.run();
+    ASSERT_TRUE(refResult.instances[0].watchpointHit);
+
+    BatchOptions bopts;
+    bopts.checkpointDir = dir_;
+    bopts.checkpointEvery = 2;
+    BatchRunner runner(bopts);
+    runner.addJob(job);
+    BatchResult result = runner.run();
+    ASSERT_TRUE(result.instances[0].watchpointHit);
+    EXPECT_EQ(result.instances[0].cyclesRun,
+              refResult.instances[0].cyclesRun);
+    // Completion persisted a .done marker recording the hit.
+    EXPECT_TRUE(std::filesystem::exists(dir_ + "/inst-0.done"));
+}
+
 } // namespace
 } // namespace asim
