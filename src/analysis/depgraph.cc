@@ -1,7 +1,8 @@
 #include "analysis/depgraph.hh"
 
-#include <map>
 #include <queue>
+#include <string_view>
+#include <unordered_map>
 
 #include "support/logging.hh"
 
@@ -39,30 +40,53 @@ dependsOn(const Component &a, const Component &b)
     return false;
 }
 
+namespace {
+
+/** Heterogeneous string hashing so the name map is built from the
+ *  components' own strings and probed with string_views — no
+ *  per-lookup allocation, no O(log n) string compares. */
+struct NameHash
+{
+    using is_transparent = void;
+    size_t
+    operator()(std::string_view s) const
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+} // namespace
+
 std::vector<int>
 orderCombinational(const std::vector<Component> &comps)
 {
-    // Collect combinational components and index them by name.
+    const int n = static_cast<int>(comps.size());
+
+    // One pass: index the combinational components by name. The
+    // former pairwise scan re-walked every component's term list per
+    // candidate dependency (O(n^2 * names)); a name -> index map makes
+    // edge construction O(total input terms).
     std::vector<int> comb;
-    std::map<std::string, int, std::less<>> byName;
-    for (int i = 0; i < static_cast<int>(comps.size()); ++i) {
+    std::unordered_map<std::string_view, int, NameHash,
+                       std::equal_to<>>
+        byName;
+    byName.reserve(comps.size());
+    for (int i = 0; i < n; ++i) {
         if (comps[i].kind != CompKind::Memory) {
             byName.emplace(comps[i].name, i);
             comb.push_back(i);
         }
     }
 
-    // Build edges: dep -> dependents; count in-degrees.
-    std::map<int, std::vector<int>> users;
-    std::map<int, int> indegree;
-    for (int i : comb)
-        indegree[i] = 0;
+    // Flat adjacency keyed by declaration index: dep -> dependents.
+    std::vector<std::vector<int>> users(n);
+    std::vector<int> indegree(n, 0);
     for (int i : comb) {
         for (const Expr *e : inputExprs(comps[i])) {
             for (const auto &t : e->terms) {
                 if (t.kind != Term::Kind::Ref)
                     continue;
-                auto it = byName.find(t.ref);
+                auto it = byName.find(std::string_view(t.ref));
                 if (it == byName.end())
                     continue;
                 // A self-reference is a one-node cycle: the self edge
@@ -82,6 +106,7 @@ orderCombinational(const std::vector<Component> &comps)
     }
 
     std::vector<int> order;
+    order.reserve(comb.size());
     while (!ready.empty()) {
         int i = ready.top();
         ready.pop();

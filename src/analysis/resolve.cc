@@ -1,6 +1,9 @@
 #include "analysis/resolve.hh"
 
 #include <set>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "analysis/depgraph.hh"
 #include "analysis/width.hh"
@@ -14,10 +17,14 @@ namespace asim {
 
 namespace {
 
-/** Context for expression resolution: name -> (kind, slot). */
+/** Context for expression resolution: name -> (kind, slot). Keys are
+ *  views into strings owned by the spec being resolved (alive for the
+ *  whole resolve), and the map is a hash table: resolution does one
+ *  lookup per reference term, which on a 100k+-component corpus spec
+ *  made ordered-map string compares the dominant resolve cost. */
 struct NameMap
 {
-    std::map<std::string, std::pair<CompKind, int>, std::less<>> map;
+    std::unordered_map<std::string_view, std::pair<CompKind, int>> map;
 };
 
 /**
@@ -139,7 +146,8 @@ resolve(const Spec &spec, Diagnostics *diag)
     // Duplicate-definition check (stricter than the thesis, which
     // silently used the last definition).
     {
-        std::set<std::string> seen;
+        std::unordered_set<std::string_view> seen;
+        seen.reserve(spec.comps.size());
         for (const auto &c : spec.comps) {
             if (!seen.insert(c.name).second) {
                 throw SpecError("Error. Component " + c.name +
@@ -151,6 +159,7 @@ resolve(const Spec &spec, Diagnostics *diag)
     // Assign slots: combinational outputs get var slots, memories get
     // memory indexes, both in declaration order.
     NameMap names;
+    names.map.reserve(spec.comps.size());
     for (const auto &c : spec.comps) {
         if (c.kind == CompKind::Memory) {
             int idx = static_cast<int>(rs.memIndexes.size());

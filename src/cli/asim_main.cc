@@ -6,6 +6,13 @@
  * Usage: asim-run [options] <spec-file>
  *   --engine=NAME        execution engine (default vm; see
  *                        --list-engines for the registry)
+ *   --partitions=N       split one design's cycle across N worker
+ *                        lanes (requires --engine=interp; results
+ *                        are byte-identical to serial; small specs
+ *                        stay serial — see sim/partition.hh)
+ *   --synthetic=PRESET   simulate a generated scaling spec instead
+ *                        of a file: 1k, 10k, 100k, 1m, or a plain
+ *                        combinational component count
  *   --cycles=N           override the spec's `=` cycle count
  *   --io=MODE            interactive (default), null, or
  *                        script:<file> — scripted integer inputs,
@@ -34,7 +41,8 @@
  *                        one shared resolve
  *   --batch-manifest=F   run the jobs listed in manifest F (one
  *                        `spec [cycles=..] [io=..] [engine=..]
- *                        [count=..] [watch=comp:val]` per line)
+ *                        [count=..] [partitions=..]
+ *                        [watch=comp:val]` per line)
  *   --threads=M          worker threads (default: all hardware
  *                        threads)
  *   --json=F             also write the batch report as JSON to F
@@ -73,10 +81,12 @@
 #include <iostream>
 #include <string>
 
+#include "machines/synthetic.hh"
 #include "serve/client.hh"
 #include "sim/batch.hh"
 #include "support/serialize.hh"
 #include "sim/compiler.hh"
+#include "sim/partition.hh"
 #include "sim/simulation.hh"
 #include "sim/vm.hh"
 
@@ -85,7 +95,8 @@ namespace {
 void
 usage()
 {
-    std::cerr << "usage: asim-run [--engine=NAME] [--cycles=N]\n"
+    std::cerr << "usage: asim-run [--engine=NAME] [--partitions=N]\n"
+              << "                [--synthetic=PRESET] [--cycles=N]\n"
               << "                [--io=interactive|null|script:"
                  "<file>]\n"
               << "                [--stats] [--no-trace] "
@@ -222,7 +233,8 @@ runRemote(const RemoteOptions &remote,
     serve::ServeClient client(remote.endpoint);
 
     // Admin-only invocations need no spec at all.
-    if (file.empty() || remote.serverStats) {
+    if ((file.empty() && opts.specText.empty()) ||
+        remote.serverStats) {
         if (remote.serverStats)
             std::cout << client.statsJson() << "\n";
         if (remote.shutdownServer)
@@ -235,17 +247,22 @@ runRemote(const RemoteOptions &remote,
         return 0;
     }
 
-    std::ifstream in(file);
-    if (!in) {
-        std::cerr << "cannot read " << file << "\n";
-        return 1;
+    std::string specText = opts.specText;
+    if (!file.empty()) {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "cannot read " << file << "\n";
+            return 1;
+        }
+        specText.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
     }
-    std::string specText{std::istreambuf_iterator<char>(in),
-                         std::istreambuf_iterator<char>()};
 
     serve::ServeClient::OpenOptions open;
-    open.name = remote.session.empty() ? defaultSessionName(file)
-                                       : remote.session;
+    open.name = remote.session.empty()
+                    ? (file.empty() ? "synthetic"
+                                    : defaultSessionName(file))
+                    : remote.session;
     open.specText = specText;
     open.engine = opts.engine;
     open.io = opts.ioMode == IoMode::Script
@@ -254,6 +271,7 @@ runRemote(const RemoteOptions &remote,
     open.inputs = opts.scriptInputs;
     open.trace = trace;
     open.aluFixed = opts.config.aluSemantics == AluSemantics::Fixed;
+    open.partitions = opts.partitions;
 
     auto session = client.open(open);
     std::cerr << "session \"" << open.name << "\" (id " << session.id
@@ -325,12 +343,22 @@ main(int argc, char **argv)
     std::string checkpointDir;
     uint64_t checkpointEvery = 0;
     bool dumpBytecode = false;
+    std::string synthetic;
     RemoteOptions remote;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--engine=", 0) == 0) {
             opts.engine = arg.substr(9);
+        } else if (arg.rfind("--partitions=", 0) == 0) {
+            long long p = std::atoll(arg.c_str() + 13);
+            if (p <= 0) {
+                std::cerr << "--partitions wants a positive count\n";
+                return 1;
+            }
+            opts.partitions = static_cast<unsigned>(p);
+        } else if (arg.rfind("--synthetic=", 0) == 0) {
+            synthetic = arg.substr(12);
         } else if (arg.rfind("--cycles=", 0) == 0) {
             cycles = std::atoll(arg.c_str() + 9);
         } else if (arg.rfind("--batch=", 0) == 0) {
@@ -416,6 +444,25 @@ main(int argc, char **argv)
             file = arg;
         }
     }
+    if (!synthetic.empty()) {
+        if (!file.empty()) {
+            std::cerr << "--synthetic and a spec file are mutually "
+                         "exclusive\n";
+            return 1;
+        }
+        try {
+            opts.specText =
+                generateSyntheticText(syntheticPreset(synthetic));
+        } catch (const SpecError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+        // Corpus specs are I/O-free and name their own cycle count;
+        // never prompt interactively.
+        if (!ioFlagSeen)
+            opts.ioMode = IoMode::Null;
+        interactive = false;
+    }
     if (!remote.endpoint.empty()) {
         // Remote mode: the daemon simulates; this process is a
         // protocol client. Interactive I/O cannot cross the wire.
@@ -435,14 +482,15 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (file.empty() && manifest.empty()) {
+    if (file.empty() && manifest.empty() && synthetic.empty()) {
         usage();
         return 1;
     }
 
     if (dumpBytecode) {
         // Compile-only path: show what the vm engine will execute.
-        opts.specFile = file;
+        if (!file.empty())
+            opts.specFile = file;
         try {
             ResolvedSpec rs = Simulation::loadSpec(opts);
             Program prog =
@@ -465,7 +513,7 @@ main(int argc, char **argv)
                          "exclusive\n";
             return 1;
         }
-        if (manifest.empty() && file.empty()) {
+        if (manifest.empty() && file.empty() && synthetic.empty()) {
             usage();
             return 1;
         }
@@ -503,13 +551,18 @@ main(int argc, char **argv)
     }
 
     try {
-        opts.specFile = file;
+        if (!file.empty())
+            opts.specFile = file;
         opts.traceStream = trace ? &std::cout : nullptr;
         Simulation sim(opts);
         for (const auto &w : sim.diagnostics().warnings())
             std::cerr << w << "\n";
         std::cerr << sim.resolved().spec.comps.size()
                   << " components read.\n";
+        if (const auto *pi = dynamic_cast<const PartitionedInterpreter *>(
+                &sim.engine())) {
+            std::cerr << pi->plan().summary() << "\n";
+        }
 
         if (!restoreFrom.empty()) {
             sim.restoreCheckpoint(restoreFrom);

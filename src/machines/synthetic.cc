@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <random>
+#include <string>
 
 #include "lang/writer.hh"
 #include "support/bitops.hh"
+#include "support/logging.hh"
 
 namespace asim {
 
@@ -37,11 +39,42 @@ class Generator
             kinds.push_back(CompKind::Selector);
         std::shuffle(kinds.begin(), kinds.end(), rng_);
 
+        if (opts_.layers > 0) {
+            // Layered mode: fix each component's layer/column before
+            // defining it so reference choices can honor the depth
+            // and locality knobs.
+            layers_ = std::min(opts_.layers, std::max(combTotal, 1));
+            layerWidth_ =
+                (combTotal + layers_ - 1) / std::max(layers_, 1);
+            prevLayer_.clear();
+            curLayer_.clear();
+        }
+
         for (int i = 0; i < combTotal; ++i) {
+            if (opts_.layers > 0) {
+                layer_ = i / layerWidth_;
+                col_ = i % layerWidth_;
+                if (col_ == 0) {
+                    if (i > 0) {
+                        prevLayer_ = std::move(curLayer_);
+                        curLayer_.clear();
+                    }
+                    layerStart_ = static_cast<int>(combNames_.size());
+                }
+            }
             if (kinds[i] == CompKind::Alu)
                 addAlu(i);
             else
                 addSelector(i);
+            if (opts_.layers > 0)
+                curLayer_.push_back(spec_.comps.back().name);
+        }
+        if (opts_.layers > 0) {
+            // Memories sit conceptually below the last layer: their
+            // (latched, order-free) inputs sample the final outputs.
+            prevLayer_ = curLayer_;
+            layer_ = layers_;
+            layerStart_ = static_cast<int>(combNames_.size());
         }
         for (int i = 0; i < opts_.memories; ++i)
             defineMemory(i);
@@ -75,10 +108,43 @@ class Generator
         return t;
     }
 
+    /** Layered mode: pick the producer by the depth/locality knobs —
+     *  mostly the same column one layer up, otherwise any strictly
+     *  earlier layer or a memory latch. Never the current layer, so
+     *  the network's dependency depth is exactly the layer count. */
+    Term
+    layeredRef(int width)
+    {
+        Term t;
+        t.kind = Term::Kind::Ref;
+        if (layer_ == 0 || layerStart_ == 0) {
+            if (memNames_.empty() || !pct(70))
+                return constTerm(width);
+            t.ref = memNames_[uniform(
+                0, static_cast<int>(memNames_.size()) - 1)];
+        } else if (!prevLayer_.empty() &&
+                   pct(opts_.localityPercent)) {
+            t.ref = prevLayer_[col_ %
+                               static_cast<int>(prevLayer_.size())];
+        } else if (!memNames_.empty() && pct(10)) {
+            t.ref = memNames_[uniform(
+                0, static_cast<int>(memNames_.size()) - 1)];
+        } else {
+            t.ref = combNames_[uniform(0, layerStart_ - 1)];
+        }
+        t.from = uniform(0, 8);
+        t.to = t.from + width - 1;
+        if (width == 1 && pct(50))
+            t.to = -1; // single-bit form `name.f`
+        return t;
+    }
+
     /** A reference term with an explicit subfield of `width` bits. */
     Term
     refTerm(int width)
     {
+        if (opts_.layers > 0)
+            return layeredRef(width);
         Term t;
         t.kind = Term::Kind::Ref;
         // Choose among already-defined combinational components and
@@ -236,6 +302,16 @@ class Generator
     Spec spec_;
     std::vector<std::string> combNames_;
     std::vector<std::string> memNames_;
+
+    /// @{ Layered-mode bookkeeping (opts_.layers > 0).
+    int layers_ = 0;       ///< effective layer count
+    int layerWidth_ = 1;   ///< components per layer
+    int layer_ = 0;        ///< layer being defined
+    int col_ = 0;          ///< column within the layer
+    int layerStart_ = 0;   ///< combNames_ size when this layer began
+    std::vector<std::string> prevLayer_;
+    std::vector<std::string> curLayer_;
+    /// @}
 };
 
 } // namespace
@@ -250,6 +326,52 @@ std::string
 generateSyntheticText(const SyntheticOptions &opts)
 {
     return writeSpec(generateSynthetic(opts));
+}
+
+SyntheticOptions
+syntheticPreset(const std::string &name)
+{
+    int64_t total = -1;
+    if (name == "1k") {
+        total = 1000;
+    } else if (name == "10k") {
+        total = 10000;
+    } else if (name == "100k") {
+        total = 100000;
+    } else if (name == "1m" || name == "1M") {
+        total = 1000000;
+    } else {
+        try {
+            size_t pos = 0;
+            total = std::stoll(name, &pos);
+            if (pos != name.size())
+                total = -1;
+        } catch (...) {
+            total = -1;
+        }
+    }
+    if (total < 1 || total > 4000000) {
+        throw SpecError("Error. Unknown synthetic preset <" + name +
+                        "> (use 1k, 10k, 100k, 1m, or a component "
+                        "count up to 4000000).");
+    }
+
+    SyntheticOptions o;
+    // Mostly ALUs: selectors carry several case expressions each and
+    // would otherwise dominate both resolve time and spec size.
+    o.selectors = static_cast<int>(total / 8);
+    o.alus = static_cast<int>(total) - o.selectors;
+    o.memories = total >= 1000 ? 8 : 2;
+    o.seed = 0xA51Bu ^ static_cast<uint32_t>(total);
+    // I/O-free and untraced: every engine and thread count replays
+    // the same run with no script, and benchmarks measure the
+    // datapath rather than the trace formatter.
+    o.withIo = false;
+    o.dynamicFunctPercent = 20;
+    o.tracedPercent = 0;
+    o.layers = 16;
+    o.localityPercent = 90;
+    return o;
 }
 
 } // namespace asim

@@ -36,6 +36,27 @@ struct SyntheticOptions
 
     /** Star roughly this fraction (0..100) of components. */
     int tracedPercent = 30;
+
+    /**
+     * When > 0, arrange the combinational components into this many
+     * dependency layers: a component in layer k only references
+     * components in layers < k (plus memory latches), so the
+     * dependency depth of the network is exactly the layer count —
+     * the scaling corpus' depth knob. 0 keeps the legacy growth
+     * (references to any earlier component).
+     */
+    int layers = 0;
+
+    /**
+     * Layered mode only: the chance (0..100) that a reference stays
+     * in the producer "column" directly above the component. High
+     * locality yields many independent column chains (the partition
+     * component-packer's best case); 0 wires layers together almost
+     * randomly, producing one giant connected component with heavy
+     * cross-partition traffic (the levelized scheduler's worst
+     * case).
+     */
+    int localityPercent = 90;
 };
 
 /** Generate a specification AST. */
@@ -43,6 +64,15 @@ Spec generateSynthetic(const SyntheticOptions &opts);
 
 /** Generate and serialize (exercises the full text pipeline). */
 std::string generateSyntheticText(const SyntheticOptions &opts);
+
+/**
+ * Scaling-corpus presets for `asim-run --synthetic=` and the
+ * partitioning benchmarks: "1k", "10k", "100k", "1m" (approximate
+ * combinational component counts), or any plain integer. Layered
+ * (depth 16, 90% locality), I/O-free and untraced so every engine
+ * and thread count produces identical runs. @throws SpecError on an
+ * unknown preset name */
+SyntheticOptions syntheticPreset(const std::string &name);
 
 } // namespace asim
 

@@ -45,6 +45,7 @@ class ServeClient
         std::vector<int32_t> inputs; ///< scripted inputs (io=Script)
         bool trace = false;          ///< capture the thesis trace
         bool aluFixed = false;       ///< AluSemantics::Fixed
+        unsigned partitions = 1;     ///< interp worker lanes (>=1)
     };
 
     struct OpenResult

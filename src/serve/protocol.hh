@@ -34,8 +34,9 @@
 
 namespace asim::serve {
 
-/** Bumped on any incompatible wire change; HELLO carries it. */
-inline constexpr uint32_t kProtocolVersion = 1;
+/** Bumped on any incompatible wire change; HELLO carries it.
+ *  v2: OPEN carries a u32 partition-lane count after the alu flag. */
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /** HELLO magic, first field of every connection's first request. */
 inline constexpr std::string_view kHelloMagic = "ASRV";

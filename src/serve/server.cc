@@ -17,7 +17,9 @@ namespace {
 
 /** Session .meta sidecar magic + version (DESIGN.md §9). */
 constexpr std::string_view kMetaMagic = "ASRVMETA";
-constexpr uint32_t kMetaVersion = 1;
+// v2 appends a u32 partition-lane count after the alu flag; v1 files
+// (no field) read back as serial sessions.
+constexpr uint32_t kMetaVersion = 2;
 
 /** Session names become filename components under stateDir, so the
  *  charset is locked down hard (no separators, no empty, bounded). */
@@ -407,6 +409,10 @@ ServeServer::sessionFromMeta(const std::string &name) const
     s->io = static_cast<SessionIo>(r.u8("meta io mode"));
     s->trace = r.u8("meta trace flag") != 0;
     s->aluFixed = r.u8("meta alu flag") != 0;
+    s->partitions =
+        version >= 2 ? r.u32("meta partitions") : 1;
+    if (s->partitions == 0)
+        s->partitions = 1;
     s->inputs = readInputs(r);
     s->pendingOutput = r.str("meta pending output");
     s->parked = true;
@@ -425,6 +431,7 @@ ServeServer::buildSimulation(Session &s, bool fromCheckpoint)
     o.ioMode =
         s.io == SessionIo::Script ? IoMode::Script : IoMode::Null;
     o.scriptInputs = s.inputs;
+    o.partitions = s.partitions;
     // One stream takes both scripted-I/O rendering and the trace so
     // the session's byte stream is identical to a direct run wired
     // the same way; seeded with output a previous incarnation
@@ -475,6 +482,7 @@ ServeServer::parkSession(Session &s)
     w.u8(static_cast<uint8_t>(s.io));
     w.u8(s.trace ? 1 : 0);
     w.u8(s.aluFixed ? 1 : 0);
+    w.u32(s.partitions);
     w.u64(s.inputs.size());
     for (int32_t v : s.inputs)
         w.i32(v);
@@ -533,6 +541,9 @@ ServeServer::handleOpen(ByteReader &r)
     auto io = static_cast<SessionIo>(r.u8("open io mode"));
     bool trace = r.u8("open trace flag") != 0;
     bool aluFixed = r.u8("open alu flag") != 0;
+    uint32_t partitions = r.u32("open partitions");
+    if (partitions == 0)
+        partitions = 1;
     std::vector<int32_t> inputs = readInputs(r);
 
     if (!validSessionName(name)) {
@@ -571,6 +582,7 @@ ServeServer::handleOpen(ByteReader &r)
             s->inputs = inputs;
             s->trace = trace;
             s->aluFixed = aluFixed;
+            s->partitions = partitions;
             byName_[name] = s;
             byId_[s->id] = s;
             created = true;

@@ -137,6 +137,7 @@ class ServeServer
         std::vector<int32_t> inputs;
         bool trace = false;
         bool aluFixed = false;
+        unsigned partitions = 1; ///< interp worker lanes (>= 1)
         /// @}
 
         uint64_t specHash = 0;

@@ -602,6 +602,13 @@ BatchRunner::loadManifest(const std::string &path,
                 if (count == 0)
                     throw bad("count must be a positive integer: " +
                               value);
+            } else if (key == "partitions") {
+                unsigned long p =
+                    std::strtoul(value.c_str(), nullptr, 10);
+                if (p == 0)
+                    throw bad("partitions must be a positive "
+                              "integer: " + value);
+                job.options.partitions = static_cast<unsigned>(p);
             } else if (key == "watch") {
                 auto colon = value.find(':');
                 if (colon == std::string::npos)

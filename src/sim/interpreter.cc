@@ -25,95 +25,113 @@ Interpreter::eval(const ResolvedExpr &e) const
 }
 
 void
+Interpreter::evalCombOne(const CombComp &c)
+{
+    if (c.kind == CompKind::Alu) {
+        int32_t f = eval(c.funct);
+        int32_t l = eval(c.left);
+        int32_t r = eval(c.right);
+        state_.vars[c.slot] = dologic(f, l, r, cfg_.aluSemantics);
+    } else {
+        int32_t idx = eval(c.select);
+        if (idx < 0 || idx >= static_cast<int32_t>(c.cases.size())) {
+            throw SimError(
+                "selector " + c.name + " index " +
+                std::to_string(idx) + " outside its " +
+                std::to_string(c.cases.size()) + " cases (cycle " +
+                std::to_string(cycle_) + ")");
+        }
+        state_.vars[c.slot] = eval(c.cases[idx]);
+    }
+}
+
+void
 Interpreter::evalCombinational()
 {
     for (const auto &c : rs_->comb) {
-        if (c.kind == CompKind::Alu) {
-            int32_t f = eval(c.funct);
-            int32_t l = eval(c.left);
-            int32_t r = eval(c.right);
-            state_.vars[c.slot] = dologic(f, l, r, cfg_.aluSemantics);
-            if (cfg_.collectStats)
+        evalCombOne(c);
+        if (cfg_.collectStats) {
+            if (c.kind == CompKind::Alu)
                 ++stats_.aluEvals;
-        } else {
-            int32_t idx = eval(c.select);
-            if (idx < 0 || idx >= static_cast<int32_t>(c.cases.size())) {
-                throw SimError(
-                    "selector " + c.name + " index " +
-                    std::to_string(idx) + " outside its " +
-                    std::to_string(c.cases.size()) + " cases (cycle " +
-                    std::to_string(cycle_) + ")");
-            }
-            state_.vars[c.slot] = eval(c.cases[idx]);
-            if (cfg_.collectStats)
+            else
                 ++stats_.selEvals;
         }
     }
 }
 
 void
+Interpreter::latchMemOne(const MemDesc &m)
+{
+    MemoryState &ms = state_.mems[m.index];
+    ms.adr = eval(m.addr);
+    ms.opn = eval(m.opn);
+}
+
+void
 Interpreter::latchMemories()
 {
-    for (const auto &m : rs_->mems) {
-        MemoryState &ms = state_.mems[m.index];
-        ms.adr = eval(m.addr);
-        ms.opn = eval(m.opn);
+    for (const auto &m : rs_->mems)
+        latchMemOne(m);
+}
+
+void
+Interpreter::updateMemOne(const MemDesc &m)
+{
+    MemoryState &ms = state_.mems[m.index];
+    const int32_t op = land(ms.opn, 3);
+    const int32_t adr = ms.adr;
+
+    auto checkAddr = [&]() {
+        if (adr < 0 ||
+            adr >= static_cast<int32_t>(ms.cells.size())) {
+            throw SimError(
+                "memory " + m.name + " address " +
+                std::to_string(adr) + " outside 0.." +
+                std::to_string(ms.cells.size() - 1) + " (cycle " +
+                std::to_string(cycle_) + ")");
+        }
+    };
+
+    switch (op) {
+      case mem_op::kRead:
+        checkAddr();
+        ms.temp = ms.cells[adr];
+        if (cfg_.collectStats)
+            ++stats_.mems[m.index].reads;
+        break;
+      case mem_op::kWrite:
+        checkAddr();
+        ms.temp = eval(m.data);
+        ms.cells[adr] = ms.temp;
+        if (cfg_.collectStats)
+            ++stats_.mems[m.index].writes;
+        break;
+      case mem_op::kInput:
+        ms.temp = io_->input(adr);
+        if (cfg_.collectStats)
+            ++stats_.mems[m.index].inputs;
+        break;
+      case mem_op::kOutput:
+        ms.temp = eval(m.data);
+        io_->output(adr, ms.temp);
+        if (cfg_.collectStats)
+            ++stats_.mems[m.index].outputs;
+        break;
+    }
+
+    if (cfg_.trace) {
+        if (land(ms.opn, 5) == 5)
+            cfg_.trace->memWrite(m.name, adr, ms.temp);
+        if (land(ms.opn, 9) == 8)
+            cfg_.trace->memRead(m.name, adr, ms.temp);
     }
 }
 
 void
 Interpreter::updateMemories()
 {
-    for (const auto &m : rs_->mems) {
-        MemoryState &ms = state_.mems[m.index];
-        const int32_t op = land(ms.opn, 3);
-        const int32_t adr = ms.adr;
-
-        auto checkAddr = [&]() {
-            if (adr < 0 ||
-                adr >= static_cast<int32_t>(ms.cells.size())) {
-                throw SimError(
-                    "memory " + m.name + " address " +
-                    std::to_string(adr) + " outside 0.." +
-                    std::to_string(ms.cells.size() - 1) + " (cycle " +
-                    std::to_string(cycle_) + ")");
-            }
-        };
-
-        switch (op) {
-          case mem_op::kRead:
-            checkAddr();
-            ms.temp = ms.cells[adr];
-            if (cfg_.collectStats)
-                ++stats_.mems[m.index].reads;
-            break;
-          case mem_op::kWrite:
-            checkAddr();
-            ms.temp = eval(m.data);
-            ms.cells[adr] = ms.temp;
-            if (cfg_.collectStats)
-                ++stats_.mems[m.index].writes;
-            break;
-          case mem_op::kInput:
-            ms.temp = io_->input(adr);
-            if (cfg_.collectStats)
-                ++stats_.mems[m.index].inputs;
-            break;
-          case mem_op::kOutput:
-            ms.temp = eval(m.data);
-            io_->output(adr, ms.temp);
-            if (cfg_.collectStats)
-                ++stats_.mems[m.index].outputs;
-            break;
-        }
-
-        if (cfg_.trace) {
-            if (land(ms.opn, 5) == 5)
-                cfg_.trace->memWrite(m.name, adr, ms.temp);
-            if (land(ms.opn, 9) == 8)
-                cfg_.trace->memRead(m.name, adr, ms.temp);
-        }
-    }
+    for (const auto &m : rs_->mems)
+        updateMemOne(m);
 }
 
 void

@@ -8,6 +8,12 @@
  * tables, re-evaluating every expression term and dispatching the
  * generic `dologic` for every ALU. No specialization, no fusion — the
  * honest baseline that ASIM II is measured against in Figure 5.1.
+ *
+ * The per-component operations (evaluate one ALU/selector, latch one
+ * memory, update one memory) are protected hooks so the partitioned
+ * engine (sim/partition.hh) can drive exactly the same table-walking
+ * code from its worker threads — equivalence by shared implementation,
+ * not by parallel maintenance of two interpreters.
  */
 
 #ifndef ASIM_SIM_INTERPRETER_HH
@@ -26,11 +32,30 @@ class Interpreter : public Engine
 
     void step() override;
 
-  private:
+  protected:
     int32_t eval(const ResolvedExpr &e) const;
+
+    /** Evaluate one combinational component into its var slot. Does
+     *  not touch the aggregate statistics counters (callers account
+     *  for those; the partitioned engine bulk-adds them once per
+     *  cycle so worker threads never share a counter). @throws
+     *  SimError on a selector index outside its cases */
+    void evalCombOne(const CombComp &c);
+
+    /** Latch one memory's address and operation. */
+    void latchMemOne(const MemDesc &m);
+
+    /** Perform one memory's latched operation: cell read/write, I/O,
+     *  output-latch update, per-memory statistics, and trace events.
+     *  @throws SimError on an address outside the memory */
+    void updateMemOne(const MemDesc &m);
+
+    /// @{ Whole-phase serial loops (step() = comb, trace, latch,
+    /// update).
     void evalCombinational();
     void latchMemories();
     void updateMemories();
+    /// @}
 };
 
 } // namespace asim

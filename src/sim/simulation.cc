@@ -11,10 +11,16 @@
 #include "sim/compiler.hh"
 #include "sim/io.hh"
 #include "sim/native_engine.hh"
+#include "sim/partition.hh"
 #include "sim/symbolic.hh"
 #include "sim/trace.hh"
 
 namespace asim {
+
+// EngineContext/SimulationOptions repeat the threshold as a literal
+// default (256) to keep this header out of simulation.hh; catch
+// drift here.
+static_assert(kPartitionAutoThreshold == 256);
 
 // ---------------------------------------------------------------------
 // EngineRegistry
@@ -27,8 +33,15 @@ EngineRegistry::global()
     static EngineRegistry *reg = [] {
         auto *r = new EngineRegistry;
         r->add("interp",
-               "slot-resolved table interpreter (ASIM analog)",
+               "slot-resolved table interpreter (ASIM analog); "
+               "--partitions=N runs one design bulk-synchronously "
+               "across N lanes",
                [](const SharedSpec &rs, const EngineContext &ctx) {
+                   if (ctx.partitions >= 2 &&
+                       rs->comb.size() >= ctx.partitionMinComponents) {
+                       return makePartitionedInterpreter(
+                           rs, ctx.config, ctx.partitions);
+                   }
                    return makeInterpreter(rs, ctx.config);
                });
         r->add("symbolic",
@@ -243,6 +256,13 @@ Simulation::Simulation(const SimulationOptions &opts)
     ctx.program = opts.program;
     ctx.nativeBuild = opts.nativeBuild;
     ctx.workDir = opts.workDir;
+    if (opts.partitions >= 2 && engineName_ != "interp") {
+        throw SimError("engine <" + engineName_ +
+                       "> does not support partitioned execution; "
+                       "partitions require the interp engine");
+    }
+    ctx.partitions = opts.partitions;
+    ctx.partitionMinComponents = opts.partitionMinComponents;
 
     std::ostream *out = opts.ioOut ? opts.ioOut : &std::cout;
 

@@ -73,6 +73,12 @@ struct EngineContext
     /** Artifact directory for engines that build binaries; empty
      *  means a fresh temporary directory owned by the engine. */
     std::string workDir;
+
+    /// @{ Intra-spec parallelism (sim/partition.hh); honored by the
+    /// "interp" factory, ignored by the other engines.
+    unsigned partitions = 1;
+    size_t partitionMinComponents = 256;
+    /// @}
 };
 
 /** String-keyed factory table of execution engines. */
@@ -191,6 +197,19 @@ struct SimulationOptions
 
     /** Artifact directory for the native engine. */
     std::string workDir;
+
+    /** Intra-spec parallelism: split one design's cycle across this
+     *  many worker lanes (sim/partition.hh). Requires the "interp"
+     *  engine; 0/1 means serial. Results are byte-identical to
+     *  serial execution at any lane count. */
+    unsigned partitions = 1;
+
+    /** Keep the serial interpreter (even with partitions >= 2) for
+     *  specs below this many combinational components — barrier
+     *  overhead dwarfs the work on small machines. Defaults to
+     *  kPartitionAutoThreshold (sim/partition.hh); tests lower it to
+     *  force tiny specs through the partitioned path. */
+    size_t partitionMinComponents = 256;
 };
 
 /**
