@@ -1,5 +1,8 @@
 #include "analysis/fault.hh"
 
+#include <cctype>
+
+#include "analysis/resolve.hh"
 #include "lang/alu_ops.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
@@ -34,16 +37,89 @@ refExpr(const std::string &name)
     return e;
 }
 
+[[noreturn]] void
+throwBitRange(int bit)
+{
+    throw SpecError("Error. Fault bit " + std::to_string(bit) +
+                    " out of range 0.." + std::to_string(kMaxBits - 1) +
+                    ".");
+}
+
+class Set0Injector final : public FaultInjector
+{
+  public:
+    const std::string &name() const override
+    {
+        static const std::string n = "set0";
+        return n;
+    }
+    int32_t apply(int32_t value, int bit) const override
+    {
+        return land(value, ~highbit(bit));
+    }
+
+  protected:
+    int32_t spliceAluOp() const override { return kAluAnd; }
+    int32_t spliceMask(int bit) const override
+    {
+        return land(kValueMask, ~highbit(bit));
+    }
+};
+
+class Set1Injector final : public FaultInjector
+{
+  public:
+    const std::string &name() const override
+    {
+        static const std::string n = "set1";
+        return n;
+    }
+    int32_t apply(int32_t value, int bit) const override
+    {
+        return value | highbit(bit);
+    }
+
+  protected:
+    int32_t spliceAluOp() const override { return kAluOr; }
+    int32_t spliceMask(int bit) const override
+    {
+        return highbit(bit);
+    }
+};
+
+class ToggleInjector final : public FaultInjector
+{
+  public:
+    const std::string &name() const override
+    {
+        static const std::string n = "toggle";
+        return n;
+    }
+    int32_t apply(int32_t value, int bit) const override
+    {
+        return value ^ highbit(bit);
+    }
+
+  protected:
+    int32_t spliceAluOp() const override { return kAluXor; }
+    int32_t spliceMask(int bit) const override
+    {
+        return highbit(bit);
+    }
+};
+
 } // namespace
 
+// ---------------------------------------------------------------------
+// FaultInjector — default spec splice
+// ---------------------------------------------------------------------
+
 Spec
-injectStuckBit(const Spec &spec, const std::string &comp, int bit,
-               StuckMode mode)
+FaultInjector::splice(const Spec &spec, const std::string &comp,
+                      int bit) const
 {
-    if (bit < 0 || bit >= kMaxBits) {
-        throw SpecError("Error. Fault bit " + std::to_string(bit) +
-                        " out of range 0..30.");
-    }
+    if (bit < 0 || bit >= kMaxBits)
+        throwBitRange(bit);
 
     Spec out = spec;
     Component *victim = out.find(comp);
@@ -57,25 +133,245 @@ injectStuckBit(const Spec &spec, const std::string &comp, int bit,
     }
     victim->name = shadow;
 
-    // Splice: name = shadow AND mask   (stuck-at-0)
-    //         name = shadow OR  bit    (stuck-at-1)
+    // Splice: name = shadow <op> mask, e.g.
+    //         name = shadow AND ~bit   (set0)
+    //         name = shadow OR   bit   (set1)
+    //         name = shadow XOR  bit   (toggle)
     Component splice;
     splice.kind = CompKind::Alu;
     splice.name = comp;
     splice.left = refExpr(shadow);
-    if (mode == StuckMode::StuckAt0) {
-        splice.funct = constExpr(kAluAnd);
-        splice.right = constExpr(land(kValueMask, ~highbit(bit)));
-    } else {
-        splice.funct = constExpr(kAluOr);
-        splice.right = constExpr(highbit(bit));
-    }
+    splice.funct = constExpr(spliceAluOp());
+    splice.right = constExpr(spliceMask(bit));
     out.comps.push_back(std::move(splice));
 
     // The shadow needs a declaration entry (untraced); the original
     // declaration keeps tracing the *observed* (faulty) value.
     out.decls.push_back(DeclName{shadow, false});
     return out;
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectorRegistry
+// ---------------------------------------------------------------------
+
+FaultInjectorRegistry &
+FaultInjectorRegistry::global()
+{
+    static FaultInjectorRegistry *reg = [] {
+        auto *r = new FaultInjectorRegistry;
+        r->add(std::make_unique<Set0Injector>());
+        r->add(std::make_unique<Set1Injector>());
+        r->add(std::make_unique<ToggleInjector>());
+        return r;
+    }();
+    return *reg;
+}
+
+void
+FaultInjectorRegistry::add(std::unique_ptr<FaultInjector> injector)
+{
+    const std::string &name = injector->name();
+    auto [it, inserted] =
+        entries_.try_emplace(name, std::move(injector));
+    if (!inserted) {
+        throw SpecError("Error. Fault injector <" + name +
+                        "> is already registered.");
+    }
+}
+
+bool
+FaultInjectorRegistry::contains(std::string_view name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+const FaultInjector &
+FaultInjectorRegistry::get(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        std::string known;
+        for (const auto &[n, entry] : entries_) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        throw SpecError("Error. Unknown fault injector <" +
+                        std::string(name) +
+                        ">; registered injectors: " + known + ".");
+    }
+    return *it->second;
+}
+
+std::vector<std::string>
+FaultInjectorRegistry::list() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Fault grammar — the shared parse/validation path
+// ---------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+throwBadFault(const std::string &text, const std::string &why)
+{
+    throw SpecError("Error. Bad fault <" + text + ">: " + why +
+                    " (want component[cell]:bit:mode[@cycle]).");
+}
+
+[[noreturn]] void
+throwCellNeedsCycle(const std::string &component)
+{
+    throw SpecError("Error. Cell faults need @cycle (a spec splice "
+                    "can only observe component <" + component +
+                    ">'s output).");
+}
+
+/** strtoll wrapper: all of `s` must be a decimal integer. */
+bool
+parseInt(const std::string &s, long long *out)
+{
+    if (s.empty())
+        return false;
+    size_t used = 0;
+    try {
+        *out = std::stoll(s, &used, 10);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return used == s.size();
+}
+
+} // namespace
+
+FaultSite
+parseFaultSite(const std::string &text)
+{
+    FaultSite site;
+
+    std::string body = text;
+    if (auto at = body.rfind('@'); at != std::string::npos) {
+        long long cycle = 0;
+        if (!parseInt(body.substr(at + 1), &cycle) || cycle < 0)
+            throwBadFault(text, "cycle must be a non-negative integer");
+        site.atCycle = true;
+        site.cycle = static_cast<uint64_t>(cycle);
+        body.resize(at);
+    }
+
+    // component[cell] : bit : mode — split on the *last* two colons
+    // so component names stay unconstrained.
+    auto modeColon = body.rfind(':');
+    if (modeColon == std::string::npos)
+        throwBadFault(text, "missing :bit:mode");
+    auto bitColon = body.rfind(':', modeColon - 1);
+    if (bitColon == std::string::npos || bitColon == 0)
+        throwBadFault(text, "missing :bit:mode");
+
+    site.mode = body.substr(modeColon + 1);
+    if (site.mode.empty())
+        throwBadFault(text, "missing mode");
+
+    long long bit = 0;
+    if (!parseInt(body.substr(bitColon + 1, modeColon - bitColon - 1),
+                  &bit))
+        throwBadFault(text, "bit must be an integer");
+    if (bit < 0 || bit >= kMaxBits)
+        throwBitRange(static_cast<int>(bit));
+    site.bit = static_cast<int>(bit);
+
+    site.component = body.substr(0, bitColon);
+    if (auto open = site.component.find('[');
+        open != std::string::npos) {
+        if (site.component.back() != ']')
+            throwBadFault(text, "unterminated cell address");
+        long long cell = 0;
+        if (!parseInt(site.component.substr(
+                          open + 1,
+                          site.component.size() - open - 2),
+                      &cell) ||
+            cell < 0)
+            throwBadFault(text,
+                          "cell must be a non-negative integer");
+        site.cell = cell;
+        site.component.resize(open);
+    }
+    if (site.component.empty())
+        throwBadFault(text, "missing component");
+    if (site.cell >= 0 && !site.atCycle)
+        throwCellNeedsCycle(site.component);
+    return site;
+}
+
+std::string
+formatFaultSite(const FaultSite &site)
+{
+    std::string out = site.component;
+    if (site.cell >= 0)
+        out += "[" + std::to_string(site.cell) + "]";
+    out += ":" + std::to_string(site.bit) + ":" + site.mode;
+    if (site.atCycle)
+        out += "@" + std::to_string(site.cycle);
+    return out;
+}
+
+void
+validateFaultSite(const ResolvedSpec &rs, const FaultSite &site)
+{
+    FaultInjectorRegistry::global().get(site.mode); // throws unknown
+    if (site.bit < 0 || site.bit >= kMaxBits)
+        throwBitRange(site.bit);
+
+    const int mem = rs.memIndex(site.component);
+    if (mem < 0 && rs.varSlot(site.component) < 0) {
+        throw SpecError("Error. Component <" + site.component +
+                        "> not found.");
+    }
+
+    if (site.cell >= 0) {
+        if (mem < 0) {
+            throw SpecError("Error. Component <" + site.component +
+                            "> is not a memory; cell faults need a "
+                            "memory.");
+        }
+        if (site.cell >= rs.mems[static_cast<size_t>(mem)].size) {
+            throw SpecError(
+                "Error. Fault cell " + std::to_string(site.cell) +
+                " out of range for memory <" + site.component +
+                "> (size " +
+                std::to_string(rs.mems[static_cast<size_t>(mem)].size) +
+                ").");
+        }
+        if (!site.atCycle)
+            throwCellNeedsCycle(site.component);
+    }
+
+    if (site.atCycle && mem < 0) {
+        throw SpecError("Error. Component <" + site.component +
+                        "> holds no state; @cycle faults need a "
+                        "memory (omit @cycle to splice a stuck "
+                        "bit).");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compatibility wrapper
+// ---------------------------------------------------------------------
+
+Spec
+injectStuckBit(const Spec &spec, const std::string &comp, int bit,
+               StuckMode mode)
+{
+    return FaultInjectorRegistry::global()
+        .get(mode == StuckMode::StuckAt0 ? "set0" : "set1")
+        .splice(spec, comp, bit);
 }
 
 } // namespace asim

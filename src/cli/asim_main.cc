@@ -26,6 +26,35 @@
  *                        and the fused cycle stream with its
  *                        optimization summary, then exit
  *
+ * Fault injection (analysis/fault.hh, analysis/campaign.hh):
+ *   --inject=FAULT       perturb the run: FAULT is
+ *                        component[cell]:bit:mode[@cycle] — without
+ *                        @cycle a permanent stuck-at splice, with
+ *                        @cycle a transient state upset at that
+ *                        cycle boundary; mode is a registered
+ *                        injector (set0, set1, toggle). Works for
+ *                        single runs and --batch fleets alike
+ *   --campaign=N         run a Monte-Carlo fault campaign of N
+ *                        seeded injections: one golden run +
+ *                        checkpoint, N perturbed restores in
+ *                        parallel, outcomes classified
+ *                        masked/sdc/fault/hang per component
+ *                        (--cycles sets the horizon; --json for the
+ *                        byte-reproducible report)
+ *   --seed=S             campaign sampling seed (default 1)
+ *   --golden-cycle=N     campaign golden-checkpoint cycle
+ *                        (default horizon/2)
+ *   --injector=MODE      campaign fault policy (default toggle)
+ *   --campaign-watch=C:V campaign completion watchpoint: instances
+ *                        that never reach component C == V hang
+ *   --hang-budget=N      extra cycles past the horizon before a
+ *                        watchpoint instance counts as hung
+ *                        (default: one extra horizon)
+ *   --campaign-splice    sample permanent stuck-at splices (re-run
+ *                        from cycle zero) instead of transient
+ *                        state upsets
+ *   --list-injectors     list registered fault injectors and exit
+ *
  * Checkpoints (sim/checkpoint.hh — portable across all engines):
  *   --save-state=F       write a checkpoint to F when the run ends
  *   --restore-from=F     restore the checkpoint F before running
@@ -81,6 +110,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/campaign.hh"
 #include "machines/synthetic.hh"
 #include "serve/client.hh"
 #include "sim/batch.hh"
@@ -101,6 +131,14 @@ usage()
                  "<file>]\n"
               << "                [--stats] [--no-trace] "
                  "[--fixed-shl]\n"
+              << "                [--inject=comp[cell]:bit:mode"
+                 "[@cycle]]\n"
+              << "                [--campaign=N] [--seed=S] "
+                 "[--golden-cycle=N]\n"
+              << "                [--injector=MODE] "
+                 "[--campaign-watch=comp:val]\n"
+              << "                [--hang-budget=N] "
+                 "[--campaign-splice]\n"
               << "                [--save-state=<file>] "
                  "[--restore-from=<file>]\n"
               << "                [--checkpoint-every=N] "
@@ -113,7 +151,8 @@ usage()
               << "                [--evict] [--close-session]\n"
               << "                [--server-stats] "
                  "[--shutdown-server]\n"
-              << "                [--list-engines] [--dump-bytecode]\n"
+              << "                [--list-engines] "
+                 "[--list-injectors] [--dump-bytecode]\n"
               << "                <spec-file>\n";
 }
 
@@ -184,6 +223,69 @@ listEngines()
          asim::EngineRegistry::global().list()) {
         std::cout << name << "\t" << description << "\n";
     }
+}
+
+/** Campaign flags gathered from the command line. */
+struct CampaignCliOptions
+{
+    int64_t runs = 0; ///< 0 = no campaign requested
+    uint64_t seed = 1;
+    uint64_t goldenCycle = 0;
+    std::string injector = "toggle";
+    bool splice = false;
+    std::string watchName;
+    int32_t watchValue = 0;
+    uint64_t hangBudget = 0;
+};
+
+/** Run a fault campaign; returns the process exit code. */
+int
+runCampaign(const asim::SimulationOptions &opts,
+            const std::string &file, const CampaignCliOptions &cli,
+            unsigned threads, int64_t cycles, bool stats,
+            const std::string &jsonPath)
+{
+    using namespace asim;
+
+    CampaignOptions co;
+    co.base = opts;
+    if (!file.empty())
+        co.base.specFile = file;
+    co.runs = static_cast<uint64_t>(cli.runs);
+    co.seed = cli.seed;
+    co.goldenCycle = cli.goldenCycle;
+    if (cycles > 0)
+        co.horizon = static_cast<uint64_t>(cycles);
+    co.injector = cli.injector;
+    co.splice = cli.splice;
+    co.watchName = cli.watchName;
+    co.watchValue = cli.watchValue;
+    co.hangBudget = cli.hangBudget;
+    co.threads = threads;
+
+    CampaignRunner runner(std::move(co));
+    CampaignResult result = runner.run();
+    std::cout << result.table();
+    if (stats) {
+        std::cerr << result.total.injections << " injections: "
+                  << result.total.masked << " masked, "
+                  << result.total.sdc << " sdc, "
+                  << result.total.fault << " fault, "
+                  << result.total.hang << " hang\n";
+    }
+    if (!jsonPath.empty()) {
+        if (jsonPath == "-") {
+            std::cout << result.json();
+        } else {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::cerr << "cannot write " << jsonPath << "\n";
+                return 1;
+            }
+            out << result.json();
+        }
+    }
+    return 0;
 }
 
 /** Everything the remote (--connect) mode needs beyond `opts`. */
@@ -345,6 +447,7 @@ main(int argc, char **argv)
     bool dumpBytecode = false;
     std::string synthetic;
     RemoteOptions remote;
+    CampaignCliOptions campaign;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -411,6 +514,43 @@ main(int argc, char **argv)
                 std::cerr << e.what() << "\n";
                 return 1;
             }
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            opts.fault = arg.substr(9);
+        } else if (arg.rfind("--campaign=", 0) == 0) {
+            campaign.runs = std::atoll(arg.c_str() + 11);
+            if (campaign.runs <= 0) {
+                std::cerr << "--campaign wants a positive count\n";
+                return 1;
+            }
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            campaign.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+        } else if (arg.rfind("--golden-cycle=", 0) == 0) {
+            campaign.goldenCycle =
+                std::strtoull(arg.c_str() + 15, nullptr, 10);
+        } else if (arg.rfind("--injector=", 0) == 0) {
+            campaign.injector = arg.substr(11);
+        } else if (arg.rfind("--campaign-watch=", 0) == 0) {
+            std::string watch = arg.substr(17);
+            auto colon = watch.rfind(':');
+            if (colon == std::string::npos || colon == 0) {
+                std::cerr << "--campaign-watch wants "
+                             "component:value\n";
+                return 1;
+            }
+            campaign.watchName = watch.substr(0, colon);
+            campaign.watchValue = static_cast<int32_t>(
+                std::strtol(watch.c_str() + colon + 1, nullptr, 0));
+        } else if (arg.rfind("--hang-budget=", 0) == 0) {
+            campaign.hangBudget =
+                std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else if (arg == "--campaign-splice") {
+            campaign.splice = true;
+        } else if (arg == "--list-injectors") {
+            for (const std::string &name :
+                 FaultInjectorRegistry::global().list()) {
+                std::cout << name << "\n";
+            }
+            return 0;
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--no-trace") {
@@ -466,6 +606,11 @@ main(int argc, char **argv)
     if (!remote.endpoint.empty()) {
         // Remote mode: the daemon simulates; this process is a
         // protocol client. Interactive I/O cannot cross the wire.
+        if (!opts.fault.empty() || campaign.runs > 0) {
+            std::cerr << "--inject/--campaign run in process; they "
+                         "are not supported with --connect\n";
+            return 1;
+        }
         try {
             return runRemote(remote, opts, file, cycles, trace, stats,
                              saveState, restoreFrom);
@@ -505,6 +650,40 @@ main(int argc, char **argv)
             return 1;
         }
         return 0;
+    }
+
+    if (campaign.runs > 0) {
+        if (batchCount > 0 || !manifest.empty()) {
+            std::cerr << "--campaign and --batch/--batch-manifest "
+                         "are mutually exclusive\n";
+            return 1;
+        }
+        if (!opts.fault.empty()) {
+            std::cerr << "--campaign samples its own faults; it is "
+                         "mutually exclusive with --inject\n";
+            return 1;
+        }
+        if (!saveState.empty() || !restoreFrom.empty() ||
+            !checkpointDir.empty()) {
+            std::cerr << "--campaign manages its own golden "
+                         "checkpoint; drop --save-state/"
+                         "--restore-from/--checkpoint-dir\n";
+            return 1;
+        }
+        // Campaign instances run concurrently; without an explicit
+        // --io choice they run with null I/O, never interactive.
+        if (!ioFlagSeen)
+            opts.ioMode = IoMode::Null;
+        try {
+            return runCampaign(opts, file, campaign, threads, cycles,
+                               stats, jsonPath);
+        } catch (const SpecError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        } catch (const SimError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
     }
 
     if (batchCount > 0 || !manifest.empty()) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/fault.hh"
 #include "sim/checkpoint.hh"
 #include "sim/trace.hh"
 #include "support/serialize.hh"
@@ -281,6 +282,7 @@ BatchRunner::run()
         std::unique_ptr<StreamTrace> traceSink;
         uint64_t budget = 0;  ///< absolute target cycle
         bool skip = false;    ///< finished in a prior run
+        bool pendingRestore = false; ///< job restore not yet applied
     };
 
     const bool checkpointing = !opts_.checkpointDir.empty();
@@ -356,11 +358,16 @@ BatchRunner::run()
         r.engine = job.options.engine;
 
         // Budget resolution needs only the resolved spec; reuse the
-        // shared one when the job carries it.
+        // shared one when the job carries it. loadSpec bakes a
+        // splice fault into the resolve, so the fault text must not
+        // reach the Simulation ctor again (it would re-splice).
         std::shared_ptr<const ResolvedSpec> rs = job.options.resolved;
+        bool spliceBaked = false;
         if (!rs) {
             rs = std::make_shared<const ResolvedSpec>(
                 Simulation::loadSpec(job.options));
+            spliceBaked = !job.options.fault.empty() &&
+                          !parseFaultSite(job.options.fault).atCycle;
         }
         int64_t budget = static_cast<int64_t>(job.cycles);
         if (budget == 0 && rs->spec.cyclesSpecified)
@@ -410,6 +417,8 @@ BatchRunner::run()
         opts.resolved = rs;
         opts.specFile.clear();
         opts.specText.clear();
+        if (spliceBaked)
+            opts.fault.clear();
         opts.ioOut = &w.io;
         opts.traceStream = nullptr;
         if (job.captureTrace && !opts.config.trace) {
@@ -444,6 +453,15 @@ BatchRunner::run()
                 r.resumed = true;
             }
         }
+
+        // Job-level restore (golden-checkpoint fan-out): applied in
+        // the worker, not here — out-of-process engines spawn their
+        // child on first contact, and a serial restore would spawn
+        // the whole batch's children up front. A runner-checkpoint
+        // resume above supersedes it (it carries later progress).
+        w.pendingRestore =
+            !r.resumed &&
+            (job.restoreSnapshot || !job.restoreFrom.empty());
     }
 
     ThreadPool pool(opts_.threads);
@@ -459,6 +477,12 @@ BatchRunner::run()
 
         auto t0 = std::chrono::steady_clock::now();
         try {
+            if (w.pendingRestore) {
+                if (job.restoreSnapshot)
+                    w.sim->restore(*job.restoreSnapshot);
+                else
+                    w.sim->restoreCheckpoint(job.restoreFrom);
+            }
             if (!job.watchName.empty()) {
                 // Watchpoint runs honor checkpointEvery too: chunk
                 // the search and persist between chunks. The hit
@@ -609,6 +633,15 @@ BatchRunner::loadManifest(const std::string &path,
                     throw bad("partitions must be a positive "
                               "integer: " + value);
                 job.options.partitions = static_cast<unsigned>(p);
+            } else if (key == "fault") {
+                // Deliberately unwrapped: a malformed fault throws
+                // parseFaultSite's own SpecError, the same text the
+                // CLI --inject= path produces (spec-dependent checks
+                // — component/cell/mode — follow at construction).
+                parseFaultSite(value);
+                job.options.fault = value;
+            } else if (key == "restore") {
+                job.restoreFrom = resolvePath(value);
             } else if (key == "watch") {
                 auto colon = value.find(':');
                 if (colon == std::string::npos)

@@ -61,8 +61,23 @@ struct BatchJob
     SimulationOptions options;
 
     /** Cycle budget; 0 means the spec's `=` count (an error when the
-     *  spec names none). */
+     *  spec names none). The budget is an *absolute* target cycle:
+     *  an instance restored from `restoreFrom`/`restoreSnapshot` at
+     *  cycle N runs only the remaining budget-N cycles. */
     uint64_t cycles = 0;
+
+    /** When set, restore this checkpoint file (sim/checkpoint.hh)
+     *  before the instance runs — the fault-campaign pattern: every
+     *  instance resumes one shared golden checkpoint instead of
+     *  replaying from cycle zero. The checkpoint must match the
+     *  job's specification (identity hash is verified); a mismatch
+     *  or unreadable file faults the instance, not the batch. */
+    std::string restoreFrom;
+
+    /** Like restoreFrom but pre-decoded: campaigns decode the golden
+     *  checkpoint once and share the immutable snapshot across every
+     *  instance. Takes precedence over restoreFrom. */
+    std::shared_ptr<const EngineSnapshot> restoreSnapshot;
 
     /** Optional watchpoint: stop early once component `watchName`
      *  reads `watchValue` (checked after each cycle). */
@@ -186,8 +201,12 @@ class BatchRunner
      *
      * with keys `cycles` (uint), `io` (input script path, parsed by
      * Simulation::loadScript), `engine` (registry name), `count`
-     * (instances of this line), and `watch` (`component:value`).
-     * Relative spec/io paths resolve against the manifest's
+     * (instances of this line), `watch` (`component:value`), `fault`
+     * (a fault in the shared grammar of analysis/fault.hh —
+     * malformed faults produce the same SpecError text as
+     * `asim-run --inject=`), and `restore` (checkpoint file restored
+     * before running, see BatchJob::restoreFrom). Relative
+     * spec/io/restore paths resolve against the manifest's
      * directory. `defaults` seeds every job's SimulationOptions
      * (engine, compiler flags, ALU semantics...); `defaultCycles`,
      * when nonzero, is the budget for lines without a `cycles=` key

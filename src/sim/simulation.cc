@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/campaign.hh"
 #include "analysis/resolve.hh"
 #include "lang/parser.hh"
 #include "sim/checkpoint.hh"
@@ -189,6 +190,35 @@ Simulation::loadSpec(const SimulationOptions &opts, Diagnostics *diag)
         throw SimError("exactly one of specFile, specText, or "
                        "resolved must be set");
     }
+
+    // A splice fault changes the specification itself: parse the
+    // healthy spec, splice, and resolve the result. @cycle faults
+    // leave the spec untouched (validated against the resolve).
+    if (!opts.fault.empty()) {
+        FaultSite site = parseFaultSite(opts.fault);
+        if (!site.atCycle) {
+            const FaultInjector &injector =
+                FaultInjectorRegistry::global().get(site.mode);
+            Spec spec = opts.resolved
+                            ? opts.resolved->spec
+                            : (!opts.specFile.empty()
+                                   ? parseSpecFile(opts.specFile, diag)
+                                   : parseSpec(opts.specText, diag));
+            return resolve(
+                injector.splice(spec, site.component, site.bit),
+                diag);
+        }
+        ResolvedSpec rs =
+            opts.resolved
+                ? *opts.resolved
+                : (!opts.specFile.empty()
+                       ? resolve(parseSpecFile(opts.specFile, diag),
+                                 diag)
+                       : resolveText(opts.specText, diag));
+        validateFaultSite(rs, site);
+        return rs;
+    }
+
     if (opts.resolved)
         return *opts.resolved;
     if (!opts.specFile.empty())
@@ -237,11 +267,24 @@ Simulation::Simulation(const SimulationOptions &opts)
         throw SimError("exactly one of specFile, specText, or "
                        "resolved must be set");
     }
-    if (opts.resolved) {
+    bool spliceFault = false;
+    if (!opts.fault.empty()) {
+        fault_ = parseFaultSite(opts.fault);
+        hasFault_ = fault_.atCycle;
+        spliceFault = !fault_.atCycle;
+    }
+    if (opts.resolved && !spliceFault) {
         rs_ = opts.resolved;
     } else {
+        // A splice fault re-resolves even off a shared resolve: the
+        // shared spec stays healthy, this instance gets the spliced
+        // one (loadSpec).
         rs_ = std::make_shared<const ResolvedSpec>(
             loadSpec(opts, &diag_));
+    }
+    if (hasFault_) {
+        validateFaultSite(*rs_, fault_);
+        faultArmed_ = true;
     }
 
     EngineRegistry &reg = EngineRegistry::global();
@@ -253,8 +296,12 @@ Simulation::Simulation(const SimulationOptions &opts)
     EngineContext ctx;
     ctx.config = opts.config;
     ctx.compiler = opts.compiler;
-    ctx.program = opts.program;
-    ctx.nativeBuild = opts.nativeBuild;
+    // A splice fault re-resolved the spec above; shared artifacts
+    // compiled from the healthy spec no longer match it.
+    if (!spliceFault) {
+        ctx.program = opts.program;
+        ctx.nativeBuild = opts.nativeBuild;
+    }
     ctx.workDir = opts.workDir;
     if (opts.partitions >= 2 && engineName_ != "interp") {
         throw SimError("engine <" + engineName_ +
@@ -317,7 +364,19 @@ Simulation::shareBatchArtifacts(const SimulationOptions &opts,
                                 bool forceTracingPossible)
 {
     SimulationOptions shared = opts;
-    if (!shared.resolved) {
+    const bool spliceFault =
+        !shared.fault.empty() &&
+        !parseFaultSite(shared.fault).atCycle;
+    if (spliceFault) {
+        // Bake the splice into the shared resolve once (loadSpec
+        // applies it) so every instance shares the spliced spec and
+        // artifacts instead of re-splicing per instance.
+        shared.resolved =
+            std::make_shared<const ResolvedSpec>(loadSpec(opts));
+        shared.specFile.clear();
+        shared.specText.clear();
+        shared.fault.clear();
+    } else if (!shared.resolved) {
         shared.resolved =
             std::make_shared<const ResolvedSpec>(loadSpec(opts));
         shared.specFile.clear();
@@ -387,7 +446,63 @@ Simulation::saveCheckpoint(const std::string &path) const
 void
 Simulation::restoreCheckpoint(const std::string &path)
 {
-    engine_->restore(loadCheckpoint(path, *rs_));
+    restore(loadCheckpoint(path, *rs_));
+}
+
+// ---------------------------------------------------------------------
+// Run control + @cycle fault injection
+// ---------------------------------------------------------------------
+
+void
+Simulation::reset()
+{
+    engine_->reset();
+    faultArmed_ = hasFault_;
+}
+
+void
+Simulation::step()
+{
+    injectPending();
+    engine_->step();
+}
+
+void
+Simulation::run(uint64_t cycles)
+{
+    while (cycles > 0) {
+        injectPending();
+        uint64_t chunk = cycles;
+        // Stop the engine chunk at the fault boundary so the
+        // injection lands mid-run exactly where step()-ing would put
+        // it.
+        if (faultArmed_ && fault_.cycle > engine_->cycle())
+            chunk = std::min(chunk, fault_.cycle - engine_->cycle());
+        engine_->run(chunk);
+        cycles -= chunk;
+    }
+}
+
+void
+Simulation::restore(const EngineSnapshot &snap)
+{
+    engine_->restore(snap);
+    // Restoring before the fault boundary re-arms the injection
+    // (continuation replays it); restoring past it means the fault
+    // already lives in the restored history.
+    if (hasFault_)
+        faultArmed_ = snap.cycle <= fault_.cycle;
+}
+
+void
+Simulation::injectPending()
+{
+    if (!faultArmed_ || engine_->cycle() < fault_.cycle)
+        return;
+    EngineSnapshot snap = engine_->snapshot();
+    applyFaultToSnapshot(snap, *rs_, fault_);
+    engine_->restore(snap);
+    faultArmed_ = false;
 }
 
 int64_t
@@ -401,7 +516,7 @@ uint64_t
 Simulation::runUntil(const Predicate &pred, uint64_t maxCycles)
 {
     for (uint64_t n = 0; n < maxCycles;) {
-        engine_->step();
+        step();
         ++n;
         if (pred(*this))
             return n;

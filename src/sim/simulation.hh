@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/fault.hh"
 #include "sim/engine.hh"
 
 namespace asim {
@@ -191,6 +192,23 @@ struct SimulationOptions
     std::ostream *ioOut = nullptr;
     /// @}
 
+    /**
+     * Fault to inject, in the shared grammar of analysis/fault.hh:
+     * `component[cell]:bit:mode[@cycle]`. Empty means a healthy run.
+     *
+     * Without `@cycle` the fault is a permanent spec splice: the
+     * facade resolves the *spliced* specification (note the spec
+     * identity hash — and hence checkpoint compatibility — changes
+     * with it). With `@cycle` the specification is untouched and the
+     * facade perturbs engine state once, before the first cycle
+     * executed at or after that boundary; restoring a snapshot from
+     * an earlier cycle re-arms the injection, restoring one from a
+     * later cycle cancels it (the fault lies in the restored
+     * history). Uniform across the CLI (--inject=), batch manifests
+     * (fault=), and campaigns.
+     */
+    std::string fault;
+
     /** When set (and config.trace is null), trace in the thesis text
      *  format onto this stream. */
     std::ostream *traceStream = nullptr;
@@ -257,10 +275,11 @@ class Simulation
     const ResolvedSpec &resolved() const { return *rs_; }
     const Diagnostics &diagnostics() const { return diag_; }
 
-    /// @{ Run control (forwarded to the engine)
-    void reset() { engine_->reset(); }
-    void step() { engine_->step(); }
-    void run(uint64_t cycles) { engine_->run(cycles); }
+    /// @{ Run control (forwarded to the engine; the facade applies a
+    /// pending @cycle fault at its boundary on the way)
+    void reset();
+    void step();
+    void run(uint64_t cycles);
     uint64_t cycle() const { return engine_->cycle(); }
     /// @}
 
@@ -289,10 +308,7 @@ class Simulation
     const SimStats &stats() const { return engine_->stats(); }
 
     EngineSnapshot snapshot() const { return engine_->snapshot(); }
-    void restore(const EngineSnapshot &snap)
-    {
-        engine_->restore(snap);
-    }
+    void restore(const EngineSnapshot &snap);
 
     /// @{ Durable checkpoints (sim/checkpoint.hh): the snapshot
     /// serialized to a versioned, checksummed binary file bound to
@@ -313,12 +329,22 @@ class Simulation
     /// @}
 
   private:
+    /** Apply the armed @cycle fault when its boundary has been
+     *  reached; called before cycles execute, never after the last
+     *  one (so a checkpoint saved exactly at the boundary stays
+     *  healthy and a resume re-applies the fault — see
+     *  SimulationOptions::fault). */
+    void injectPending();
+
     std::shared_ptr<const ResolvedSpec> rs_;
     Diagnostics diag_;
     std::string engineName_;
     std::unique_ptr<TraceSink> ownedTrace_;
     std::unique_ptr<IoDevice> ownedIo_;
     std::unique_ptr<Engine> engine_;
+    FaultSite fault_;        ///< parsed @cycle fault (hasFault_)
+    bool hasFault_ = false;  ///< options carried an @cycle fault
+    bool faultArmed_ = false; ///< not yet applied on this timeline
     mutable uint64_t specHash_ = 0; ///< lazy; 0 = not yet computed
 };
 

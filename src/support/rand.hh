@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SplitMix64 — the deterministic seed-driven generator used wherever
+ * the simulator needs "random" numbers that must replay identically
+ * (fault-campaign sampling; analysis/campaign.hh).
+ *
+ * No global RNG anywhere: every consumer owns its generator seeded
+ * explicitly, and parallel work derives one independent stream per
+ * work item from (seed, index) alone — so results are byte-identical
+ * at any thread count and across platforms (the recurrence is exact
+ * 64-bit arithmetic, no libc rand/distribution variance).
+ *
+ * Reference: Steele/Lea/Flood, "Fast splittable pseudorandom number
+ * generators" (OOPSLA 2014) — the java.util.SplittableRandom mixer.
+ */
+
+#ifndef ASIM_SUPPORT_RAND_HH
+#define ASIM_SUPPORT_RAND_HH
+
+#include <cstdint>
+
+namespace asim {
+
+/** The SplitMix64 odd increment (2^64 / phi). */
+inline constexpr uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ull;
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed)
+        : x_(seed)
+    {}
+
+    /** Derive the independent stream for work item `index` of a run
+     *  seeded `seed` — the campaign sampler's per-injection stream,
+     *  identical no matter which thread (or how many) draws it. */
+    static SplitMix64 forIndex(uint64_t seed, uint64_t index)
+    {
+        SplitMix64 seeder(seed);
+        uint64_t base = seeder.next();
+        return SplitMix64(base + index * kSplitMix64Gamma);
+    }
+
+    uint64_t next()
+    {
+        uint64_t z = (x_ += kSplitMix64Gamma);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform draw in [0, n); n must be nonzero. Fixed-point
+     *  multiply keeps the mapping platform-independent (and bias
+     *  below 2^-32 for every n this codebase draws). */
+    uint64_t below(uint64_t n)
+    {
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * n) >> 64);
+    }
+
+  private:
+    uint64_t x_;
+};
+
+} // namespace asim
+
+#endif // ASIM_SUPPORT_RAND_HH

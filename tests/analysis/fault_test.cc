@@ -98,5 +98,162 @@ TEST(Fault, DoubleInjectionOnSameNameThrows)
                  SpecError);
 }
 
+// ---------------------------------------------------------------------
+// The injector registry (mirrors the engine registry idiom)
+// ---------------------------------------------------------------------
+
+/** Run `fn` and return the SpecError text it throws (must throw). */
+template <typename Fn>
+std::string
+specErrorText(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const SpecError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected SpecError";
+    return "";
+}
+
+TEST(FaultRegistry, BuiltinPolicies)
+{
+    auto &reg = FaultInjectorRegistry::global();
+    EXPECT_EQ(reg.list(),
+              (std::vector<std::string>{"set0", "set1", "toggle"}));
+    EXPECT_TRUE(reg.contains("toggle"));
+    EXPECT_FALSE(reg.contains("bogus"));
+
+    // apply(): one bit perturbed under each policy.
+    EXPECT_EQ(reg.get("set0").apply(0b1111, 1), 0b1101);
+    EXPECT_EQ(reg.get("set1").apply(0b0000, 2), 0b0100);
+    EXPECT_EQ(reg.get("toggle").apply(0b0110, 1), 0b0100);
+    EXPECT_EQ(reg.get("toggle").apply(0b0110, 3), 0b1110);
+}
+
+TEST(FaultRegistry, UnknownInjectorNamesTheRegistered)
+{
+    EXPECT_EQ(specErrorText([] {
+                  FaultInjectorRegistry::global().get("bogus");
+              }),
+              "Error. Unknown fault injector <bogus>; registered "
+              "injectors: set0, set1, toggle.");
+}
+
+TEST(FaultRegistry, ToggleSpliceFlipsOneOutputBit)
+{
+    // toggle on bit 2 of `next`: the counter sees (count+1) ^ 4.
+    Spec f = FaultInjectorRegistry::global().get("toggle").splice(
+        parseSpec(counterSpec(6, 100)), "next", 2);
+    auto engine = makeVm(resolve(f));
+    int32_t healthy = 0;
+    for (int i = 0; i < 12; ++i) {
+        healthy = (healthy + 1) ^ 4;
+        engine->step();
+        ASSERT_EQ(engine->value("count"), healthy) << "cycle " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The shared fault grammar: component[cell]:bit:mode[@cycle]
+// ---------------------------------------------------------------------
+
+TEST(FaultGrammar, ParsesSpliceForm)
+{
+    FaultSite s = parseFaultSite("next:4:set1");
+    EXPECT_EQ(s.component, "next");
+    EXPECT_EQ(s.cell, -1);
+    EXPECT_EQ(s.bit, 4);
+    EXPECT_EQ(s.mode, "set1");
+    EXPECT_FALSE(s.atCycle);
+    EXPECT_EQ(formatFaultSite(s), "next:4:set1");
+}
+
+TEST(FaultGrammar, ParsesTransientCellForm)
+{
+    FaultSite s = parseFaultSite("mem[13]:7:toggle@250");
+    EXPECT_EQ(s.component, "mem");
+    EXPECT_EQ(s.cell, 13);
+    EXPECT_EQ(s.bit, 7);
+    EXPECT_EQ(s.mode, "toggle");
+    EXPECT_TRUE(s.atCycle);
+    EXPECT_EQ(s.cycle, 250u);
+    EXPECT_EQ(formatFaultSite(s), "mem[13]:7:toggle@250");
+}
+
+TEST(FaultGrammar, RoundTripsThroughFormat)
+{
+    for (const char *text :
+         {"a:0:set0", "b[0]:30:toggle@1", "long_name[999]:15:set1@0",
+          "count:12:toggle@64"}) {
+        FaultSite s = parseFaultSite(text);
+        EXPECT_EQ(formatFaultSite(s), text);
+    }
+}
+
+TEST(FaultGrammar, RejectsMalformedText)
+{
+    EXPECT_EQ(specErrorText([] { parseFaultSite("count"); }),
+              "Error. Bad fault <count>: missing :bit:mode "
+              "(want component[cell]:bit:mode[@cycle]).");
+    EXPECT_EQ(specErrorText([] { parseFaultSite("count:x:set0"); }),
+              "Error. Bad fault <count:x:set0>: bit must be an "
+              "integer (want component[cell]:bit:mode[@cycle]).");
+    EXPECT_EQ(specErrorText([] { parseFaultSite("count:1:"); }),
+              "Error. Bad fault <count:1:>: missing mode "
+              "(want component[cell]:bit:mode[@cycle]).");
+    EXPECT_EQ(
+        specErrorText([] { parseFaultSite("count:1:set0@next"); }),
+        "Error. Bad fault <count:1:set0@next>: cycle must be a "
+        "non-negative integer "
+        "(want component[cell]:bit:mode[@cycle]).");
+    EXPECT_EQ(specErrorText([] { parseFaultSite("count:31:set0"); }),
+              "Error. Fault bit 31 out of range 0..30.");
+    // A cell fault with no @cycle cannot be a spec splice.
+    EXPECT_EQ(specErrorText([] { parseFaultSite("mem[3]:1:set0"); }),
+              "Error. Cell faults need @cycle (a spec splice can "
+              "only observe component <mem>'s output).");
+}
+
+TEST(FaultGrammar, ValidatesAgainstResolvedSpec)
+{
+    // gcd-like machine: `count` memory of size 1, `next` ALU.
+    ResolvedSpec rs = resolve(parseSpec(counterSpec(6, 100)));
+
+    validateFaultSite(rs, parseFaultSite("count:3:toggle@5"));
+    validateFaultSite(rs, parseFaultSite("count[0]:3:set1@5"));
+    validateFaultSite(rs, parseFaultSite("next:3:set0"));
+
+    EXPECT_EQ(specErrorText([&] {
+                  validateFaultSite(
+                      rs, parseFaultSite("ghost:1:set0"));
+              }),
+              "Error. Component <ghost> not found.");
+    EXPECT_EQ(specErrorText([&] {
+                  validateFaultSite(
+                      rs, parseFaultSite("count:1:bogus@2"));
+              }),
+              "Error. Unknown fault injector <bogus>; registered "
+              "injectors: set0, set1, toggle.");
+    EXPECT_EQ(specErrorText([&] {
+                  validateFaultSite(
+                      rs, parseFaultSite("next[0]:1:set0@2"));
+              }),
+              "Error. Component <next> is not a memory; cell faults "
+              "need a memory.");
+    EXPECT_EQ(specErrorText([&] {
+                  validateFaultSite(
+                      rs, parseFaultSite("count[5]:1:set0@2"));
+              }),
+              "Error. Fault cell 5 out of range for memory <count> "
+              "(size 1).");
+    EXPECT_EQ(specErrorText([&] {
+                  validateFaultSite(
+                      rs, parseFaultSite("next:1:set0@2"));
+              }),
+              "Error. Component <next> holds no state; @cycle faults "
+              "need a memory (omit @cycle to splice a stuck bit).");
+}
+
 } // namespace
 } // namespace asim

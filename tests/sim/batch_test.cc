@@ -14,6 +14,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/fault.hh"
 #include "machines/counter.hh"
 #include "machines/tiny_computer.hh"
 #include "sim/batch.hh"
@@ -400,6 +401,75 @@ TEST_F(ManifestTest, RelativePathsResolveAgainstManifestDir)
     EXPECT_GE(n, 5u);
     BatchResult result = runner.run();
     EXPECT_TRUE(result.allOk());
+}
+
+TEST_F(ManifestTest, FaultKeyInjectsPerJob)
+{
+    std::string specs = ASIM_SPECS_DIR;
+    std::string path = writeManifest(
+        specs + "/counter.asim\n" +
+        specs + "/counter.asim fault=next:1:set1\n" +
+        specs + "/counter.asim fault=count:0:toggle@10\n");
+    BatchOptions bo;
+    bo.captureState = true;
+    BatchRunner withState(bo);
+    withState.loadManifest(path, SimulationOptions{});
+    BatchResult result = withState.run();
+    ASSERT_EQ(result.instances.size(), 3u);
+    EXPECT_TRUE(result.allOk());
+    // Both injected instances diverge from the healthy one.
+    EXPECT_FALSE(result.instances[1].state.mems ==
+                 result.instances[0].state.mems);
+    EXPECT_FALSE(result.instances[2].state.mems ==
+                 result.instances[0].state.mems);
+}
+
+TEST_F(ManifestTest, BadFaultTextMatchesTheSharedParsePath)
+{
+    std::string specs = ASIM_SPECS_DIR;
+    std::string path = writeManifest(specs +
+                                     "/counter.asim fault=count\n");
+    BatchRunner runner;
+    try {
+        runner.loadManifest(path, SimulationOptions{});
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        // The manifest surfaces the exact parseFaultSite() text.
+        std::string expected;
+        try {
+            parseFaultSite("count");
+        } catch (const SpecError &p) {
+            expected = p.what();
+        }
+        EXPECT_EQ(std::string(e.what()), expected);
+    }
+}
+
+TEST_F(ManifestTest, RestoreKeyResumesFromCheckpoint)
+{
+    // Save a checkpoint at cycle 10, then resume it via the manifest
+    // to the absolute budget of 20 cycles.
+    std::string ckpt = manifestPath() + ".ckpt";
+    {
+        SimulationOptions opts;
+        opts.specFile = specPath("counter.asim");
+        Simulation sim(opts);
+        sim.run(10);
+        sim.saveCheckpoint(ckpt);
+    }
+    std::string path = writeManifest(specPath("counter.asim") +
+                                     " restore=" + ckpt +
+                                     " cycles=20\n");
+    BatchOptions bo;
+    bo.captureState = true;
+    BatchRunner runner(bo);
+    runner.loadManifest(path, SimulationOptions{});
+    BatchResult result = runner.run();
+    std::remove(ckpt.c_str());
+    ASSERT_EQ(result.instances.size(), 1u);
+    EXPECT_TRUE(result.allOk());
+    // cycles= is an absolute budget: 10 restored + 10 executed.
+    EXPECT_EQ(result.instances[0].cyclesRun, 20u);
 }
 
 TEST_F(ManifestTest, MalformedLinesThrowWithLineNumbers)

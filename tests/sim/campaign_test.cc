@@ -1,0 +1,284 @@
+/** @file
+ * Tests of the fault-injection campaign driver (analysis/campaign.hh):
+ * the determinism contract (byte-identical JSON across thread counts
+ * and reruns of the same seed), outcome classification against the
+ * golden reference (masked / SDC / simulator fault / hang), the
+ * transient state-site universe, the shared snapshot-injection
+ * primitive, and the configuration errors run() promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/campaign.hh"
+#include "analysis/resolve.hh"
+#include "machines/counter.hh"
+#include "sim/simulation.hh"
+#include "support/logging.hh"
+
+#ifndef ASIM_SPECS_DIR
+#define ASIM_SPECS_DIR "specs"
+#endif
+
+namespace asim {
+namespace {
+
+std::string
+specPath(const std::string &name)
+{
+    return std::string(ASIM_SPECS_DIR) + "/" + name;
+}
+
+/** A counter (count = cycle) with a cycle count for the horizon. */
+const char *kCounterSpec = "# plain counter\n"
+                           "= 20\n"
+                           "count* next .\n"
+                           "A next 4 count 1\n"
+                           "M count 0 next 1 1\n"
+                           ".\n";
+
+/** The same counter addressing a 40-cell memory with its own value:
+ *  an upset that jumps `count` past 40 turns into an out-of-range
+ *  memory operation — a simulator fault. */
+const char *kAddressedSpec = "# counter addressing mem[count]\n"
+                             "= 20\n"
+                             "count* next .\n"
+                             "A next 4 count 1\n"
+                             "M count 0 next 1 1\n"
+                             "M mem count count 1 40\n"
+                             ".\n";
+
+CampaignOptions
+campaignFor(const char *specText, uint64_t runs, uint64_t seed)
+{
+    CampaignOptions o;
+    o.base.specText = specText;
+    o.runs = runs;
+    o.seed = seed;
+    o.threads = 2;
+    return o;
+}
+
+TEST(Campaign, JsonIdenticalAcrossThreadCounts)
+{
+    std::string reference;
+    for (unsigned threads : {1u, 2u, 0u}) {
+        CampaignOptions o;
+        o.base.specFile = specPath("gcd.asim");
+        o.runs = 96;
+        o.seed = 11;
+        o.threads = threads;
+        std::string json = CampaignRunner(o).run().json();
+        if (reference.empty())
+            reference = json;
+        else
+            EXPECT_EQ(json, reference) << threads << " threads";
+    }
+    EXPECT_NE(reference.find("\"runs\": 96"), std::string::npos);
+}
+
+TEST(Campaign, SameSeedReproducibleDifferentSeedNot)
+{
+    auto o = campaignFor(kCounterSpec, 32, 5);
+    std::string first = CampaignRunner(o).run().json();
+    std::string again = CampaignRunner(o).run().json();
+    EXPECT_EQ(first, again);
+
+    o.seed = 6;
+    EXPECT_NE(CampaignRunner(o).run().json(), first)
+        << "different seed must sample different faults";
+}
+
+TEST(Campaign, WatchpointCampaignClassifiesHangs)
+{
+    // Golden counter hits count == 15 at cycle 15. An upset that
+    // pushes `count` past 15 before then can never reach the
+    // watchpoint again (the counter only climbs), so it hangs; an
+    // upset sampled after the golden stop cycle is never applied, so
+    // it is masked; a small perturbation shifts the hit cycle — SDC.
+    auto o = campaignFor(kCounterSpec, 48, 3);
+    o.goldenCycle = 5;
+    o.watchName = "count";
+    o.watchValue = 15;
+    CampaignResult r = CampaignRunner(o).run();
+
+    EXPECT_EQ(r.goldenCycles, 15u);
+    EXPECT_EQ(r.total.injections, 48u);
+    EXPECT_GT(r.total.hang, 0u);
+    EXPECT_GT(r.total.masked, 0u);
+    EXPECT_GT(r.total.sdc, 0u);
+    EXPECT_EQ(r.total.masked + r.total.sdc + r.total.fault +
+                  r.total.hang,
+              r.total.injections);
+    // The spec's only state is `count`; every record aggregates there.
+    ASSERT_EQ(r.components.size(), 1u);
+    EXPECT_EQ(r.components[0].first, "count");
+    for (const CampaignRecord &rec : r.records) {
+        EXPECT_EQ(rec.component, "count");
+        if (rec.outcome == FaultOutcome::Hang) {
+            EXPECT_FALSE(rec.site.empty());
+        }
+    }
+}
+
+TEST(Campaign, EngineFaultsClassifiedAndCarryDiagnostic)
+{
+    CampaignResult r =
+        CampaignRunner(campaignFor(kAddressedSpec, 96, 1)).run();
+    EXPECT_GT(r.total.fault, 0u)
+        << "a flipped high bit of count must walk off mem";
+    for (const CampaignRecord &rec : r.records) {
+        if (rec.outcome == FaultOutcome::EngineFault)
+            EXPECT_NE(rec.fault.find("mem"), std::string::npos)
+                << rec.fault;
+        else
+            EXPECT_TRUE(rec.fault.empty()) << rec.site;
+    }
+}
+
+TEST(Campaign, SpliceCampaignRunsFromCycleZero)
+{
+    auto o = campaignFor(kCounterSpec, 32, 7);
+    o.splice = true;
+    o.goldenCycle = 9; // ignored: splices cannot restore the golden
+    CampaignResult r = CampaignRunner(o).run();
+    EXPECT_TRUE(r.splice);
+    EXPECT_EQ(r.goldenCycle, 0u);
+    EXPECT_EQ(r.total.injections, 32u);
+    // Splices sample every component, not just state.
+    bool sawAlu = false;
+    for (const auto &[name, counts] : r.components)
+        sawAlu = sawAlu || name == "next";
+    EXPECT_TRUE(sawAlu) << "combinational components are splice "
+                           "targets";
+    EXPECT_GT(r.total.sdc, 0u);
+}
+
+TEST(Campaign, StateSiteUniverse)
+{
+    ResolvedSpec rs = resolveText(kAddressedSpec);
+    // count: latch + 1 cell; mem: latch + 40 cells.
+    ASSERT_EQ(stateSiteCount(rs), 43u);
+
+    FaultSite s0 = stateSiteAt(rs, 0);
+    EXPECT_EQ(s0.component, "count");
+    EXPECT_EQ(s0.cell, -1);
+    FaultSite s1 = stateSiteAt(rs, 1);
+    EXPECT_EQ(s1.component, "count");
+    EXPECT_EQ(s1.cell, 0);
+    FaultSite s2 = stateSiteAt(rs, 2);
+    EXPECT_EQ(s2.component, "mem");
+    EXPECT_EQ(s2.cell, -1);
+    FaultSite sLast = stateSiteAt(rs, 42);
+    EXPECT_EQ(sLast.component, "mem");
+    EXPECT_EQ(sLast.cell, 39);
+    EXPECT_THROW(stateSiteAt(rs, 43), SpecError);
+}
+
+TEST(Campaign, ApplyFaultToSnapshotPerturbsOneWord)
+{
+    SimulationOptions opts;
+    opts.specText = kAddressedSpec;
+    Simulation sim(opts);
+    sim.run(6); // count == 6; mem[c] == c+1 for c < 6 (the memory
+                // latches its address, so writes land a cycle late)
+    EngineSnapshot snap = sim.engine().snapshot();
+    const ResolvedSpec &rs = sim.resolved();
+    const int countMem = rs.memIndex("count");
+    const int memMem = rs.memIndex("mem");
+    ASSERT_GE(countMem, 0);
+    ASSERT_GE(memMem, 0);
+
+    FaultSite latch; // whole-component site = the output latch
+    latch.component = "count";
+    latch.bit = 3;
+    latch.mode = "toggle";
+    const int32_t before = snap.state.mems[countMem].temp;
+    applyFaultToSnapshot(snap, rs, latch);
+    EXPECT_EQ(snap.state.mems[countMem].temp, before ^ 8);
+
+    FaultSite cell;
+    cell.component = "mem";
+    cell.cell = 3;
+    cell.bit = 2;
+    cell.mode = "set0";
+    applyFaultToSnapshot(snap, rs, cell);
+    EXPECT_EQ(snap.state.mems[memMem].cells[3], 0); // 4 & ~4
+
+    cell.mode = "set1";
+    cell.cell = 2;
+    cell.bit = 4;
+    applyFaultToSnapshot(snap, rs, cell);
+    EXPECT_EQ(snap.state.mems[memMem].cells[2], 3 | 16);
+
+    FaultSite bogus;
+    bogus.component = "next"; // combinational: no state
+    EXPECT_THROW(applyFaultToSnapshot(snap, rs, bogus), SpecError);
+}
+
+TEST(Campaign, ConfigurationErrors)
+{
+    // Golden cycle at/after the horizon (`= 20` runs 21 inclusive
+    // thesis iterations).
+    auto o = campaignFor(kCounterSpec, 8, 1);
+    o.goldenCycle = 21;
+    EXPECT_THROW(CampaignRunner(o).run(), SimError);
+
+    // Unknown injector refused before any simulation runs.
+    o = campaignFor(kCounterSpec, 8, 1);
+    o.injector = "bogus";
+    EXPECT_THROW(CampaignRunner(o).run(), SpecError);
+
+    // Interactive I/O cannot fan out.
+    o = campaignFor(kCounterSpec, 8, 1);
+    o.base.ioMode = IoMode::Interactive;
+    EXPECT_THROW(CampaignRunner(o).run(), SimError);
+
+    // No horizon: spec names no cycle count and none was given.
+    o = campaignFor("# no cycle count\n"
+                    "count* next .\n"
+                    "A next 4 count 1\n"
+                    "M count 0 next 1 1\n"
+                    ".\n",
+                    8, 1);
+    EXPECT_THROW(CampaignRunner(o).run(), SimError);
+
+    // Zero runs.
+    o = campaignFor(kCounterSpec, 8, 1);
+    o.runs = 0;
+    EXPECT_THROW(CampaignRunner(o).run(), SimError);
+}
+
+TEST(Campaign, WatchpointMustBeReachableByGolden)
+{
+    auto o = campaignFor(kCounterSpec, 8, 1);
+    o.watchName = "count";
+    o.watchValue = 1000; // counter never gets there in 20 cycles
+    EXPECT_THROW(CampaignRunner(o).run(), SimError);
+
+    // Golden checkpoint taken after the watchpoint already fired.
+    o = campaignFor(kCounterSpec, 8, 1);
+    o.goldenCycle = 10;
+    o.watchName = "count";
+    o.watchValue = 4;
+    EXPECT_THROW(CampaignRunner(o).run(), SimError);
+}
+
+TEST(Campaign, TableCarriesTotalsAndJsonOmitsTimings)
+{
+    CampaignResult r =
+        CampaignRunner(campaignFor(kCounterSpec, 16, 2)).run();
+    std::string table = r.table();
+    EXPECT_NE(table.find("total"), std::string::npos);
+    EXPECT_NE(table.find("vulnerable"), std::string::npos);
+    EXPECT_NE(table.find(" threads)"), std::string::npos);
+
+    std::string json = r.json();
+    EXPECT_EQ(json.find("seconds"), std::string::npos);
+    EXPECT_EQ(json.find("threads"), std::string::npos);
+    EXPECT_NE(json.find("\"records\""), std::string::npos);
+}
+
+} // namespace
+} // namespace asim

@@ -42,6 +42,7 @@ struct Variant
     std::string engine;
     CompilerOptions compiler;
     std::string label;
+    std::string fault = {}; ///< optional fault text (--inject form)
 };
 
 /**
@@ -64,6 +65,7 @@ runVariants(const std::vector<Variant> &variants, const SharedSpec &rs,
         job.options.resolved = rs;
         job.options.engine = v.engine;
         job.options.compiler = v.compiler;
+        job.options.fault = v.fault;
         job.options.config.io = io.get();
         job.cycles = cycles;
         job.captureTrace = true;
@@ -195,6 +197,50 @@ TEST_P(OptEquivalence, AllFlagCombos)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OptEquivalence,
                          ::testing::Range(1u, 11u));
+
+/** Injected faults must corrupt every engine identically: a spec
+ *  splice (permanent stuck bit) and a transient @cycle state upset
+ *  each produce byte-identical traces, I/O, and final state across
+ *  the in-process engines — and differ from the healthy run. */
+TEST(Equivalence, InjectedFaultsMatchAcrossEngines)
+{
+    struct FaultCase
+    {
+        const char *fault;
+        bool observable; ///< the counter never reads count's cell
+                         ///< back, so a cell upset stays masked
+    };
+    SharedSpec rs = share(resolveText(counterSpec(6, 100)));
+    for (const FaultCase &c :
+         {FaultCase{"next:2:set1", true},
+          FaultCase{"count:1:set0", true},
+          FaultCase{"count:0:toggle@50", true},
+          FaultCase{"count[0]:3:toggle@25", false}}) {
+        const char *fault = c.fault;
+        auto results = runVariants({{"interp", {}, "interp", fault},
+                                    {"vm", {}, "vm", fault},
+                                    {"symbolic", {}, "symbolic", fault},
+                                    {"vm", {}, "healthy", ""}},
+                                   rs, 100, {});
+        const InstanceResult &a = results[0];
+        EXPECT_FALSE(a.faulted) << fault << ": " << a.fault;
+        for (size_t i = 1; i + 1 < results.size(); ++i) {
+            const InstanceResult &b = results[i];
+            EXPECT_EQ(a.traceText, b.traceText)
+                << fault << " " << b.label;
+            EXPECT_EQ(a.ioText, b.ioText) << fault << " " << b.label;
+            EXPECT_TRUE(a.state == b.state)
+                << fault << " " << b.label;
+        }
+        if (c.observable) {
+            EXPECT_NE(a.traceText, results.back().traceText)
+                << fault << " must be observable";
+        } else {
+            EXPECT_EQ(a.traceText, results.back().traceText)
+                << fault << " must stay masked";
+        }
+    }
+}
 
 } // namespace
 } // namespace asim

@@ -151,6 +151,41 @@ TEST_P(NativeEquivalence, StepsInLockstepWithVm)
     EXPECT_EQ(osNative.str(), osVm.str()) << c.file;
 }
 
+/** Injected faults must cross the process boundary: the native
+ *  engine's spliced spec and @cycle state upsets match the vm's on
+ *  every channel. */
+TEST(NativeFaultEquivalence, InjectedFaultsMatchVm)
+{
+    if (!NativeEngine::available())
+        GTEST_SKIP() << "no host compiler";
+
+    for (const char *fault :
+         {"next:1:set1", "count:0:toggle@10"}) {
+        RunResult results[2];
+        const char *engines[] = {"vm", "native"};
+        for (int i = 0; i < 2; ++i) {
+            std::ostringstream os;
+            std::istringstream is;
+            SimulationOptions opts;
+            opts.specFile =
+                std::string(ASIM_SPECS_DIR) + "/counter.asim";
+            opts.engine = engines[i];
+            opts.fault = fault;
+            opts.ioMode = IoMode::Interactive;
+            opts.ioIn = &is;
+            opts.ioOut = &os;
+            opts.traceStream = &os;
+            Simulation sim(opts);
+            sim.run(static_cast<uint64_t>(sim.defaultCycles()));
+            results[i] = {os.str(), sim.engine().state(),
+                          sim.cycle()};
+        }
+        EXPECT_EQ(results[1].text, results[0].text) << fault;
+        EXPECT_TRUE(results[1].state == results[0].state) << fault;
+        EXPECT_EQ(results[1].cycle, results[0].cycle) << fault;
+    }
+}
+
 std::string
 caseName(const ::testing::TestParamInfo<SpecCase> &info)
 {
