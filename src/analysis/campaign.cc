@@ -12,7 +12,9 @@
 #include "sim/checkpoint.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/rand.hh"
+#include "support/tracing.hh"
 
 namespace asim {
 
@@ -244,6 +246,7 @@ CampaignRunner::run()
     if (!dir.empty())
         std::filesystem::create_directories(dir);
 
+    tracing::Span goldenSpan("campaign.golden", "campaign");
     std::ostringstream goldenIo;
     SimulationOptions goldenOpts = base;
     goldenOpts.ioOut = &goldenIo;
@@ -293,6 +296,7 @@ CampaignRunner::run()
         goldenSnap = std::make_shared<const EngineSnapshot>(
             loadCheckpoint(goldenPath, *rs));
     }
+    goldenSpan.finish();
 
     // ----- Fan-out: sample one fault per run off the (seed, index)
     // stream — the draw order (site, bit, cycle) is part of the
@@ -340,7 +344,11 @@ CampaignRunner::run()
         }
         runner.addJob(std::move(job));
     }
+    tracing::Span fanoutSpan("campaign.fanout", "campaign");
+    fanoutSpan.setArgs("\"runs\":" + std::to_string(o.runs) +
+                       ",\"threads\":" + std::to_string(o.threads));
     BatchResult batch = runner.run();
+    fanoutSpan.finish();
 
     // ----- Classify against the golden reference (DESIGN.md §10):
     // EngineFault > Hang > Masked-vs-Sdc. The state diff covers the
@@ -365,6 +373,8 @@ CampaignRunner::run()
         o.splice ? goldenIoFull : goldenIoTail;
     std::map<std::string, CampaignCounts> perComponent;
     result.records.reserve(o.runs);
+    tracing::Span classifySpan("campaign.classify", "campaign");
+    const bool timed = metrics::timingEnabled();
     for (uint64_t i = 0; i < o.runs; ++i) {
         const InstanceResult &r = batch.instances[i];
         const FaultSite &site = sites[i];
@@ -382,6 +392,18 @@ CampaignRunner::run()
         }
         result.total.add(outcome);
         perComponent[site.component].add(outcome);
+        if (timed) {
+            // Per-classification run-time histograms: hang-budget
+            // burn vs fast masking is where campaign wall time goes.
+            // Metrics only — table()/json() never read these, so the
+            // report bytes stay identical with observability on.
+            const std::string name = faultOutcomeName(outcome);
+            metrics::counter("campaign.outcome." + name).add();
+            metrics::histogram("campaign.run_ns." + name,
+                               metrics::Histogram::exponentialBounds(
+                                   1000, 4.0, 16))
+                .record(static_cast<uint64_t>(r.seconds * 1e9));
+        }
 
         CampaignRecord rec;
         rec.site = formatFaultSite(site);

@@ -14,6 +14,8 @@
  *                        NativeEngine adapter drives; DESIGN.md §5)
  *   --spec-hash          print the specification's identity hash
  *                        (the checkpoint/build-cache key) and exit
+ *   --trace-out=FILE     write a Chrome trace_event JSON profile of
+ *                        this compile (parse/resolve/codegen spans)
  */
 
 #include <cstdio>
@@ -24,6 +26,7 @@
 #include "analysis/resolve.hh"
 #include "codegen/codegen.hh"
 #include "sim/simulation.hh"
+#include "support/tracing.hh"
 
 int
 main(int argc, char **argv)
@@ -33,8 +36,14 @@ main(int argc, char **argv)
     std::string file;
     std::string lang = "pascal";
     std::string outPath;
+    std::string traceOut;
     bool specHashOnly = false;
     CodegenOptions opts;
+
+    struct TraceGuard
+    {
+        ~TraceGuard() { tracing::stop(); }
+    } traceGuard;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -54,11 +63,14 @@ main(int argc, char **argv)
             opts.emitStateDump = true;
         } else if (arg == "--spec-hash") {
             specHashOnly = true;
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg.substr(12);
         } else if (arg == "--help" || arg == "-h") {
             std::cerr << "usage: asim2c [--lang=pascal|cpp] [-o file]\n"
                       << "              [--no-trace] [--no-optimize]\n"
                       << "              [--fixed-shl] [--serve]\n"
-                      << "              [--spec-hash] <spec-file>\n";
+                      << "              [--spec-hash] "
+                         "[--trace-out=file] <spec-file>\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option " << arg << "\n";
@@ -81,6 +93,10 @@ main(int argc, char **argv)
     }
     if (outPath.empty())
         outPath = lang == "pascal" ? "simulator.p" : "simulator.cc";
+    if (!traceOut.empty() && !tracing::start(traceOut)) {
+        std::cerr << "cannot write trace file " << traceOut << "\n";
+        return 1;
+    }
 
     try {
         Diagnostics diag;
@@ -98,14 +114,19 @@ main(int argc, char **argv)
         std::cerr << "Reading file " << file << "\n";
         SimulationOptions sopts;
         sopts.specFile = file;
+        tracing::Span loadSpan("asim2c.parse_resolve", "compile");
         ResolvedSpec rs = Simulation::loadSpec(sopts, &diag);
+        loadSpan.finish();
         std::cerr << rs.spec.comps.size() << " components read.\n";
         std::cerr << "Sorting components.\n";
         for (const auto &w : diag.warnings())
             std::cerr << w << "\n";
         std::cerr << "Generating code.\n";
+        tracing::Span genSpan("asim2c.codegen", "compile");
+        genSpan.setArgs("\"lang\":\"" + lang + "\"");
         std::string code = lang == "pascal" ? generatePascal(rs, opts)
                                             : generateCpp(rs, opts);
+        genSpan.finish();
         std::ofstream out(outPath, std::ios::binary);
         out << code;
         if (!out) {

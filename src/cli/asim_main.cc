@@ -94,7 +94,19 @@
  *   --evict              park the session to disk after the run
  *   --close-session      delete the session after the run
  *   --server-stats       print the daemon's STATS JSON and exit
+ *   --server-metrics     print the daemon's METRICS JSON (protocol
+ *                        v3 metrics-registry exposition) and exit
  *   --shutdown-server    ask the daemon to shut down cleanly
+ *
+ * Observability (docs/OBSERVABILITY.md):
+ *   --trace-out=F        write a Chrome trace_event / Perfetto JSON
+ *                        trace of this invocation to F (spans for
+ *                        parse/compile/run, per-lane partition
+ *                        phases, batch instances, campaign stages)
+ *                        with the final metrics registry embedded
+ *                        as the `asim_metrics` key. Simulation
+ *                        outputs are byte-identical with or without
+ *                        tracing.
  * --save-state/--restore-from work remotely too: the daemon's
  * SNAPSHOT blob *is* a checkpoint file.
  *
@@ -119,8 +131,16 @@
 #include "sim/partition.hh"
 #include "sim/simulation.hh"
 #include "sim/vm.hh"
+#include "support/tracing.hh"
 
 namespace {
+
+/** Finalize an open --trace-out file on every exit path (stop() is a
+ *  no-op when tracing never started). */
+struct TraceGuard
+{
+    ~TraceGuard() { asim::tracing::stop(); }
+};
 
 void
 usage()
@@ -150,7 +170,8 @@ usage()
                  "[--session=NAME]\n"
               << "                [--evict] [--close-session]\n"
               << "                [--server-stats] "
-                 "[--shutdown-server]\n"
+                 "[--server-metrics] [--shutdown-server]\n"
+              << "                [--trace-out=<file>]\n"
               << "                [--list-engines] "
                  "[--list-injectors] [--dump-bytecode]\n"
               << "                <spec-file>\n";
@@ -294,6 +315,7 @@ struct RemoteOptions
     std::string endpoint;
     std::string session;
     bool serverStats = false;
+    bool serverMetrics = false;
     bool shutdownServer = false;
     bool evictAfter = false;
     bool closeAfter = false;
@@ -336,14 +358,18 @@ runRemote(const RemoteOptions &remote,
 
     // Admin-only invocations need no spec at all.
     if ((file.empty() && opts.specText.empty()) ||
-        remote.serverStats) {
+        remote.serverStats || remote.serverMetrics) {
         if (remote.serverStats)
             std::cout << client.statsJson() << "\n";
+        if (remote.serverMetrics)
+            std::cout << client.metricsJson() << "\n";
         if (remote.shutdownServer)
             client.shutdownServer();
-        if (!remote.serverStats && !remote.shutdownServer) {
+        if (!remote.serverStats && !remote.serverMetrics &&
+            !remote.shutdownServer) {
             std::cerr << "--connect without a spec file needs "
-                         "--server-stats or --shutdown-server\n";
+                         "--server-stats, --server-metrics, or "
+                         "--shutdown-server\n";
             return 1;
         }
         return 0;
@@ -446,6 +472,7 @@ main(int argc, char **argv)
     uint64_t checkpointEvery = 0;
     bool dumpBytecode = false;
     std::string synthetic;
+    std::string traceOut;
     RemoteOptions remote;
     CampaignCliOptions campaign;
 
@@ -462,6 +489,8 @@ main(int argc, char **argv)
             opts.partitions = static_cast<unsigned>(p);
         } else if (arg.rfind("--synthetic=", 0) == 0) {
             synthetic = arg.substr(12);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg.substr(12);
         } else if (arg.rfind("--cycles=", 0) == 0) {
             cycles = std::atoll(arg.c_str() + 9);
         } else if (arg.rfind("--batch=", 0) == 0) {
@@ -563,6 +592,8 @@ main(int argc, char **argv)
             remote.session = arg.substr(10);
         } else if (arg == "--server-stats") {
             remote.serverStats = true;
+        } else if (arg == "--server-metrics") {
+            remote.serverMetrics = true;
         } else if (arg == "--shutdown-server") {
             remote.shutdownServer = true;
         } else if (arg == "--evict") {
@@ -583,6 +614,11 @@ main(int argc, char **argv)
         } else {
             file = arg;
         }
+    }
+    TraceGuard traceGuard;
+    if (!traceOut.empty() && !tracing::start(traceOut)) {
+        std::cerr << "cannot write trace file " << traceOut << "\n";
+        return 1;
     }
     if (!synthetic.empty()) {
         if (!file.empty()) {

@@ -10,7 +10,15 @@
  *                          asim-serve-state)
  *   --evict-after-ms=N     park sessions idle longer than N ms
  *                          (default 60000; 0 disables the sweep)
+ *   --trace-out=FILE       write a Chrome trace_event JSON trace of
+ *                          the daemon's lifetime (session lifecycle
+ *                          events, engine spans) to FILE on shutdown
  *   --quiet                no startup/shutdown chatter
+ *
+ * The daemon always runs with timing metrics enabled so a METRICS
+ * scrape (or asim-run --server-metrics) returns populated request-
+ * latency and engine histograms; the cost is confined to request
+ * handling and engine boundaries (docs/OBSERVABILITY.md).
  *
  * The daemon runs until a client sends SHUTDOWN or it receives
  * SIGINT/SIGTERM; both paths park every live session to --state-dir
@@ -26,6 +34,8 @@
 
 #include "serve/server.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/tracing.hh"
 
 namespace {
 
@@ -42,7 +52,8 @@ usage()
 {
     std::cerr << "usage: asim-serve [--socket=PATH] [--tcp=PORT]\n"
               << "                  [--state-dir=DIR] "
-                 "[--evict-after-ms=N] [--quiet]\n";
+                 "[--evict-after-ms=N]\n"
+              << "                  [--trace-out=FILE] [--quiet]\n";
 }
 
 } // namespace
@@ -55,6 +66,7 @@ main(int argc, char **argv)
     serve::ServeOptions opts;
     opts.evictAfterMs = 60000;
     bool quiet = false;
+    std::string traceOut;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -71,6 +83,8 @@ main(int argc, char **argv)
             opts.stateDir = arg.substr(12);
         } else if (arg.rfind("--evict-after-ms=", 0) == 0) {
             opts.evictAfterMs = std::atoll(arg.c_str() + 17);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg.substr(12);
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -85,6 +99,15 @@ main(int argc, char **argv)
         std::cerr << "asim-serve needs --socket=PATH and/or "
                      "--tcp=PORT\n";
         usage();
+        return 1;
+    }
+
+    // Daemon metrics are always live (see file comment); tracing only
+    // when asked for.
+    metrics::setTimingEnabled(true);
+    if (!traceOut.empty() && !tracing::start(traceOut)) {
+        std::cerr << "asim-serve: cannot write trace file " << traceOut
+                  << "\n";
         return 1;
     }
 
@@ -113,9 +136,11 @@ main(int argc, char **argv)
                       << server.statsJson() << "\n";
         }
         server.stop(/*parkSessions=*/true);
+        tracing::stop();
         return 0;
     } catch (const SimError &e) {
         std::cerr << "asim-serve: " << e.what() << "\n";
+        tracing::stop();
         return 1;
     }
 }

@@ -11,12 +11,14 @@ ServeClient::ServeClient(const std::string &endpoint)
     std::string resp = call(helloRequest());
     ByteReader r(resp, "hello response");
     uint32_t version = r.u32("server version");
-    if (version != kProtocolVersion) {
+    if (version < kMinProtocolVersion || version > kProtocolVersion) {
         throw SimError("server at " + endpoint_ +
                        " speaks protocol v" + std::to_string(version) +
                        ", this client wants v" +
+                       std::to_string(kMinProtocolVersion) + "-v" +
                        std::to_string(kProtocolVersion));
     }
+    serverVersion_ = version;
 }
 
 std::string
@@ -162,6 +164,16 @@ ServeClient::statsJson()
     std::string resp = call(w.data());
     ByteReader r(resp, "stats response");
     return r.str("stats json");
+}
+
+std::string
+ServeClient::metricsJson()
+{
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(Op::Metrics));
+    std::string resp = call(w.data());
+    ByteReader r(resp, "metrics response");
+    return r.str("metrics json");
 }
 
 void

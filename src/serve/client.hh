@@ -95,8 +95,15 @@ class ServeClient
     /** Admin: the server's statistics JSON. */
     std::string statsJson();
 
+    /** Admin: the server's metrics-registry exposition JSON
+     *  (protocol v3; a v2 server answers ERR). */
+    std::string metricsJson();
+
     /** Admin: ask the daemon to shut down cleanly. */
     void shutdownServer();
+
+    /** Protocol version negotiated in the HELLO handshake. */
+    uint32_t serverVersion() const { return serverVersion_; }
 
   private:
     /** One request round trip. @throws SimError on transport failure
@@ -108,6 +115,7 @@ class ServeClient
 
     std::string endpoint_;
     FrameChannel channel_;
+    uint32_t serverVersion_ = kProtocolVersion;
 };
 
 } // namespace asim::serve

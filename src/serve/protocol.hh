@@ -35,8 +35,16 @@
 namespace asim::serve {
 
 /** Bumped on any incompatible wire change; HELLO carries it.
- *  v2: OPEN carries a u32 partition-lane count after the alu flag. */
-inline constexpr uint32_t kProtocolVersion = 2;
+ *  v2: OPEN carries a u32 partition-lane count after the alu flag.
+ *  v3: adds the METRICS opcode (observability scrape). v3 is a pure
+ *  superset of v2: the server accepts HELLOs from kMinProtocolVersion
+ *  up, and a v2 peer that never sends METRICS sees v2 behavior
+ *  byte for byte. */
+inline constexpr uint32_t kProtocolVersion = 3;
+
+/** Oldest client HELLO the server still accepts (and oldest server
+ *  HELLO-reply a client accepts). */
+inline constexpr uint32_t kMinProtocolVersion = 2;
 
 /** HELLO magic, first field of every connection's first request. */
 inline constexpr std::string_view kHelloMagic = "ASRV";
@@ -60,7 +68,8 @@ enum class Op : uint8_t
     Evict = 7,    ///< park the session to disk now
     Close = 8,    ///< delete the session and its artifacts
     Stats = 9,    ///< admin: server statistics as JSON
-    Shutdown = 10 ///< admin: stop the daemon cleanly
+    Shutdown = 10, ///< admin: stop the daemon cleanly
+    Metrics = 11  ///< admin: metrics-registry exposition (v3+)
 };
 
 /** Response status (first byte of a response body). */

@@ -10,6 +10,8 @@
 #include "codegen/native.hh"
 #include "sim/checkpoint.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/tracing.hh"
 
 namespace asim::serve {
 
@@ -56,6 +58,38 @@ nowNs()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
+}
+
+/** Stable lowercase opcode names for the stats/metrics expositions
+ *  (slot 0 = anything that is not a known opcode). */
+const char *
+opName(size_t slot)
+{
+    switch (static_cast<Op>(slot)) {
+    case Op::Hello:
+        return "hello";
+    case Op::Open:
+        return "open";
+    case Op::Run:
+        return "run";
+    case Op::Value:
+        return "value";
+    case Op::Snapshot:
+        return "snapshot";
+    case Op::Restore:
+        return "restore";
+    case Op::Evict:
+        return "evict";
+    case Op::Close:
+        return "close";
+    case Op::Stats:
+        return "stats";
+    case Op::Shutdown:
+        return "shutdown";
+    case Op::Metrics:
+        return "metrics";
+    }
+    return "unknown";
 }
 
 } // namespace
@@ -277,6 +311,40 @@ ServeServer::connLoop(Conn *conn)
 std::string
 ServeServer::handleRequest(std::string_view body, Conn &conn)
 {
+    // Peek the opcode before dispatch so even malformed requests are
+    // counted (slot 0) and timed like any other.
+    const uint8_t op =
+        body.empty() ? 0 : static_cast<uint8_t>(body[0]);
+    const bool timed = metrics::timingEnabled();
+    const uint64_t t0 = timed ? nowNs() : 0;
+    std::string resp = dispatchRequest(body, conn);
+    noteRequest(op, timed, timed ? nowNs() - t0 : 0);
+    return resp;
+}
+
+void
+ServeServer::noteRequest(uint8_t op, bool timed, uint64_t durNs)
+{
+    const size_t slot = op < kOpSlots ? op : 0;
+    opCounts_[slot].fetch_add(1, std::memory_order_relaxed);
+    if (!timed)
+        return;
+    // One latency histogram per opcode, resolved once for the process.
+    static const std::array<metrics::Histogram *, kOpSlots> hists = [] {
+        std::array<metrics::Histogram *, kOpSlots> h{};
+        for (size_t i = 0; i < kOpSlots; ++i) {
+            h[i] = &metrics::histogram(
+                std::string("serve.request_ns.") + opName(i),
+                metrics::Histogram::exponentialBounds(1000, 2.0, 24));
+        }
+        return h;
+    }();
+    hists[slot]->record(durNs);
+}
+
+std::string
+ServeServer::dispatchRequest(std::string_view body, Conn &conn)
+{
     try {
         ByteReader r(body, "request");
         auto op = static_cast<Op>(r.u8("opcode"));
@@ -288,18 +356,25 @@ ServeServer::handleRequest(std::string_view body, Conn &conn)
         case Op::Hello: {
             std::string magic = r.str("hello magic");
             uint32_t version = r.u32("hello version");
-            if (magic != kHelloMagic || version != kProtocolVersion) {
+            if (magic != kHelloMagic ||
+                version < kMinProtocolVersion ||
+                version > kProtocolVersion)
+            {
                 conn.dropAfterReply = true;
                 return errorResponse(
                     "protocol mismatch: want " +
                     std::string(kHelloMagic) + " v" +
+                    std::to_string(kMinProtocolVersion) + "-v" +
                     std::to_string(kProtocolVersion) + ", got " +
                     magic + " v" + std::to_string(version));
             }
             conn.helloDone = true;
+            // Echo the client's version: an older peer sees exactly
+            // the handshake its own kProtocolVersion check expects.
+            conn.version = version;
             ByteWriter w;
             w.u8(static_cast<uint8_t>(Status::Ok));
-            w.u32(kProtocolVersion);
+            w.u32(conn.version);
             w.str("asim-serve");
             return std::move(w).take();
         }
@@ -321,6 +396,14 @@ ServeServer::handleRequest(std::string_view body, Conn &conn)
             ByteWriter w;
             w.u8(static_cast<uint8_t>(Status::Ok));
             w.str(statsJson());
+            return std::move(w).take();
+        }
+        case Op::Metrics: {
+            if (conn.version < 3)
+                return errorResponse("METRICS needs protocol v3");
+            ByteWriter w;
+            w.u8(static_cast<uint8_t>(Status::Ok));
+            w.str(metricsJson());
             return std::move(w).take();
         }
         case Op::Shutdown: {
@@ -458,6 +541,12 @@ ServeServer::ensureLive(Session &s)
         return;
     buildSimulation(s, /*fromCheckpoint=*/true);
     resumes_ += 1;
+    static metrics::Counter &resumes = metrics::counter("serve.resumes");
+    resumes.add();
+    tracing::instantEvent("serve.session_resume", "serve",
+                          "\"session\":\"" +
+                              tracing::jsonEscape(s.name) + "\"");
+    noteSessionCensus();
 }
 
 void
@@ -494,6 +583,32 @@ ServeServer::parkSession(Session &s)
     s.out.reset();
     s.parked = true;
     evictions_ += 1;
+    static metrics::Counter &evictions =
+        metrics::counter("serve.evictions");
+    evictions.add();
+    tracing::instantEvent("serve.session_evict", "serve",
+                          "\"session\":\"" +
+                              tracing::jsonEscape(s.name) + "\"");
+    noteSessionCensus();
+}
+
+void
+ServeServer::noteSessionCensus()
+{
+    uint64_t live = 0;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        for (auto &[name, s] : byName_)
+            if (!s->parked)
+                ++live;
+    }
+    static metrics::Gauge &g = metrics::gauge("serve.sessions_live");
+    g.set(static_cast<int64_t>(live));
+    uint64_t prev = peakLive_.load(std::memory_order_relaxed);
+    while (live > prev &&
+           !peakLive_.compare_exchange_weak(prev, live,
+                                            std::memory_order_relaxed))
+    {}
 }
 
 void
@@ -594,6 +709,14 @@ ServeServer::handleOpen(ByteReader &r)
         try {
             buildSimulation(*s, /*fromCheckpoint=*/false);
             sessionsOpened_ += 1;
+            static metrics::Counter &opened =
+                metrics::counter("serve.sessions_opened");
+            opened.add();
+            tracing::instantEvent(
+                "serve.session_open", "serve",
+                "\"session\":\"" + tracing::jsonEscape(s->name) +
+                    "\",\"engine\":\"" +
+                    tracing::jsonEscape(s->engine) + "\"");
         } catch (...) {
             // A session that never built must not squat on the name.
             std::lock_guard<std::mutex> mapLock(sessionsMu_);
@@ -608,6 +731,7 @@ ServeServer::handleOpen(ByteReader &r)
     bool resumed = !created && s->parked;
     ensureLive(*s);
     s->lastUsed = std::chrono::steady_clock::now();
+    noteSessionCensus();
 
     ByteWriter w;
     w.u8(static_cast<uint8_t>(Status::Ok));
@@ -739,6 +863,10 @@ ServeServer::handleClose(ByteReader &r)
     s->out.reset();
     ::unlink(ckptPath(s->name).c_str());
     ::unlink(metaPath(s->name).c_str());
+    tracing::instantEvent("serve.session_close", "serve",
+                          "\"session\":\"" +
+                              tracing::jsonEscape(s->name) + "\"");
+    noteSessionCensus();
     ByteWriter w;
     w.u8(static_cast<uint8_t>(Status::Ok));
     return std::move(w).take();
@@ -764,16 +892,34 @@ ServeServer::statsJson() const
     uint64_t requests = compileRequests_;
     uint64_t compiles = nativeCompileCount() - nativeCompilesAtStart_;
     uint64_t hits = requests > compiles ? requests - compiles : 0;
+    double uptime =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count();
+    uint64_t peak = peakLive_.load(std::memory_order_relaxed);
+    if (live > peak)
+        peak = live; // census may not have run yet this instant
 
     std::ostringstream j;
     j << "{\"sessions_live\":" << live
       << ",\"sessions_parked\":" << parked
       << ",\"sessions_opened\":" << sessionsOpened_.load()
+      << ",\"peak_sessions_live\":" << peak
+      << ",\"uptime_seconds\":" << uptime
       << ",\"evictions\":" << evictions_.load()
       << ",\"resumes\":" << resumes_.load()
       << ",\"run_commands\":" << runCommands_.load()
       << ",\"native_compile_requests\":" << requests
-      << ",\"native_compile_cache_hits\":" << hits << ",\"engines\":{";
+      << ",\"native_compile_cache_hits\":" << hits
+      << ",\"requests\":{";
+    for (size_t i = 1; i < kOpSlots; ++i) {
+        if (i > 1)
+            j << ",";
+        j << "\"" << opName(i)
+          << "\":" << opCounts_[i].load(std::memory_order_relaxed);
+    }
+    j << ",\"unknown\":" << opCounts_[0].load(std::memory_order_relaxed)
+      << "},\"engines\":{";
     {
         std::lock_guard<std::mutex> lock(statsMu_);
         bool first = true;
@@ -791,6 +937,20 @@ ServeServer::statsJson() const
         }
     }
     j << "}}";
+    return j.str();
+}
+
+std::string
+ServeServer::metricsJson() const
+{
+    double uptime =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count();
+    std::ostringstream j;
+    j << "{\"uptime_seconds\":" << uptime
+      << ",\"stats\":" << statsJson() << ",\"registry\":"
+      << metrics::Registry::global().jsonExposition() << "}";
     return j.str();
 }
 

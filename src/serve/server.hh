@@ -41,6 +41,7 @@
 #ifndef ASIM_SERVE_SERVER_HH
 #define ASIM_SERVE_SERVER_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -117,9 +118,16 @@ class ServeServer
 
     const std::string &unixPath() const { return opts_.unixPath; }
 
-    /** The STATS payload: sessions, evictions/resumes, per-engine
-     *  cycle throughput, native compile-cache hits. */
+    /** The STATS payload: sessions (live/parked/opened/peak),
+     *  daemon uptime, per-opcode request counts, evictions/resumes,
+     *  per-engine cycle throughput, native compile-cache hits.
+     *  Schema: DESIGN.md §9. */
     std::string statsJson() const;
+
+    /** The METRICS payload (protocol v3): uptime plus the full
+     *  process metrics-registry exposition (request-latency
+     *  histograms, engine counters, pool/partition timing). */
+    std::string metricsJson() const;
 
   private:
     /** One multi-tenant session (see file comment). */
@@ -164,6 +172,9 @@ class ServeServer
         bool helloDone = false;
         bool dropAfterReply = false;
         bool shutdownAfterReply = false;
+        /** Negotiated protocol version (the client's HELLO version;
+         *  v2 peers get v2 behavior byte for byte). */
+        uint32_t version = kProtocolVersion;
     };
 
     void acceptLoop();
@@ -173,6 +184,7 @@ class ServeServer
     void sweepIdle();
 
     std::string handleRequest(std::string_view body, Conn &conn);
+    std::string dispatchRequest(std::string_view body, Conn &conn);
     std::string handleOpen(ByteReader &r);
     std::string handleRun(ByteReader &r);
     std::string handleValue(ByteReader &r);
@@ -197,6 +209,16 @@ class ServeServer
 
     /** Park a live session to disk. Caller holds s.mu. */
     void parkSession(Session &s);
+
+    /** Count one request against `op` and, when timed, record its
+     *  latency into the per-opcode histogram. */
+    void noteRequest(uint8_t op, bool timed, uint64_t durNs);
+
+    /** Recount live sessions after a lifecycle transition, updating
+     *  the serve.sessions_live gauge and the peak high-water mark.
+     *  Takes sessionsMu_; safe to call while holding a session's mu
+     *  (nothing locks a session's mu under sessionsMu_). */
+    void noteSessionCensus();
 
     ServeOptions opts_;
     Socket unixListener_;
@@ -223,6 +245,17 @@ class ServeServer
 
     /// @{ Statistics (statsMu_ guards the non-atomic aggregates).
     mutable std::mutex statsMu_;
+
+    /** One count slot per request opcode (index = raw opcode value;
+     *  slot 0 collects unknown/malformed opcodes). */
+    static constexpr size_t kOpSlots =
+        static_cast<size_t>(Op::Metrics) + 1;
+    std::array<std::atomic<uint64_t>, kOpSlots> opCounts_{};
+
+    std::chrono::steady_clock::time_point startTime_ =
+        std::chrono::steady_clock::now();
+    std::atomic<uint64_t> peakLive_{0};
+
     std::atomic<uint64_t> sessionsOpened_{0};
     std::atomic<uint64_t> evictions_{0};
     std::atomic<uint64_t> resumes_{0};

@@ -12,8 +12,10 @@
 #include "analysis/fault.hh"
 #include "sim/checkpoint.hh"
 #include "sim/trace.hh"
+#include "support/metrics.hh"
 #include "support/serialize.hh"
 #include "support/thread_pool.hh"
+#include "support/tracing.hh"
 
 namespace asim {
 
@@ -468,13 +470,20 @@ BatchRunner::run()
     result.threads = pool.size();
 
     auto batchStart = std::chrono::steady_clock::now();
+    tracing::Span batchSpan("batch.run", "batch");
+    batchSpan.setArgs("\"instances\":" +
+                      std::to_string(works.size()) +
+                      ",\"threads\":" + std::to_string(pool.size()));
     pool.parallelFor(0, works.size(), [&](size_t i) {
         const BatchJob &job = jobs_[i];
         Work &w = works[i];
         InstanceResult &r = result.instances[i];
-        if (w.skip)
+        if (w.skip) {
+            metrics::counter("batch.instances_skipped").add();
             return;
+        }
 
+        tracing::Span span("batch.instance", "batch");
         auto t0 = std::chrono::steady_clock::now();
         try {
             if (w.pendingRestore) {
@@ -533,6 +542,18 @@ BatchRunner::run()
             r.cyclesRun = w.sim->cycle();
         }
         r.seconds = secondsSince(t0);
+        span.setArgs(
+            "\"index\":" + std::to_string(i) + ",\"label\":\"" +
+            tracing::jsonEscape(job.label) + "\",\"engine\":\"" +
+            r.engine +
+            "\",\"cycles\":" + std::to_string(r.cyclesRun) +
+            ",\"resumed\":" + (r.resumed ? "true" : "false") +
+            ",\"faulted\":" + (r.faulted ? "true" : "false"));
+        metrics::counter("batch.instances").add();
+        if (r.resumed)
+            metrics::counter("batch.instances_resumed").add();
+        if (r.faulted)
+            metrics::counter("batch.instances_faulted").add();
         r.ioText = w.io.str();
         r.traceText = w.trace.str();
         r.stats = w.sim->stats();

@@ -6,6 +6,9 @@
 #include <cstring>
 #include <ostream>
 
+#include "support/metrics.hh"
+#include "support/tracing.hh"
+
 #include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -93,7 +96,16 @@ NativeEngine::NativeEngine(std::shared_ptr<const ResolvedSpec> rs,
         opts_.codegen.emitTrace = cfg.trace != nullptr;
         opts_.codegen.emitStateDump = true;
         opts_.codegen.emitServeLoop = true;
+        tracing::Span span("native.compile", "lifecycle");
+        const uint64_t t0 =
+            metrics::timingEnabled() ? metrics::nowNs() : 0;
         build_ = compileSpecShared(*rs_, opts_.codegen, opts_.workDir);
+        if (t0) {
+            metrics::histogram("native.compile_ns",
+                               metrics::Histogram::exponentialBounds(
+                                   1000000, 2.0, 16))
+                .record(metrics::nowNs() - t0);
+        }
     }
     // The child itself spawns lazily at the first command: a batch
     // can construct any number of instances without holding one
@@ -155,6 +167,17 @@ NativeEngine::spawnChild()
 NativeEngine::Reply
 NativeEngine::exchange(const std::string &cmd, std::string_view extra)
 {
+    // Every subprocess command funnels through here: one histogram
+    // sample covers write + child work + reply read (the socketless
+    // round-trip tax the serve pipelining work targets).
+    static metrics::Histogram &rtt = metrics::histogram(
+        "native.roundtrip_ns",
+        metrics::Histogram::exponentialBounds(1000, 2.0, 24));
+    metrics::ScopedTimerNs timer(rtt);
+    static metrics::Counter &commands =
+        metrics::counter("native.commands");
+    commands.add();
+
     std::string wire = cmd;
     wire.append(extra);
     if (!child_.writeAll(wire))

@@ -5,10 +5,54 @@
 #include <sstream>
 
 #include "support/bitops.hh"
+#include "support/metrics.hh"
+#include "support/tracing.hh"
 
 namespace asim {
 
 namespace {
+
+/** Per-lane phase-duration histograms, one per phase kind, plus the
+ *  barrier-wait histogram the ROADMAP's "overlap the serial tail"
+ *  item needs. Exponential ns ladders: 250ns .. ~2s. */
+metrics::Histogram &
+phaseHist(const char *phaseName)
+{
+    auto bounds = [] {
+        return metrics::Histogram::exponentialBounds(250, 2.0, 24);
+    };
+    if (phaseName[0] == 'c') {
+        static metrics::Histogram &h =
+            metrics::histogram("partition.lane.comb_ns", bounds());
+        return h;
+    }
+    if (phaseName[0] == 'l') {
+        static metrics::Histogram &h =
+            metrics::histogram("partition.lane.latch_ns", bounds());
+        return h;
+    }
+    static metrics::Histogram &h =
+        metrics::histogram("partition.lane.update_ns", bounds());
+    return h;
+}
+
+metrics::Histogram &
+barrierHist()
+{
+    static metrics::Histogram &h = metrics::histogram(
+        "partition.barrier_wait_ns",
+        metrics::Histogram::exponentialBounds(100, 2.0, 24));
+    return h;
+}
+
+/** Sample one cycle in 64 for per-lane trace spans: dense enough to
+ *  see lane imbalance in Perfetto, sparse enough that the trace-file
+ *  mutex never becomes a per-cycle barrier of its own. */
+constexpr uint64_t kSpanSampleMask = 63;
+
+/** Chrome tid base for lane tracks (coordinator threads keep their
+ *  natural small tids). */
+constexpr int64_t kLaneTidBase = 1000;
 
 /** Path-halving union-find over declaration/index space. unite()
  *  always hangs the larger root under the smaller so a cluster's
@@ -402,8 +446,37 @@ PartitionedInterpreter::PartitionedInterpreter(
       plan_(buildPartitionPlan(*rs, lanes, cfg.trace != nullptr)),
       pool_(plan_.lanes),
       faultKey_(plan_.lanes, -1),
-      faultMsg_(plan_.lanes)
+      faultMsg_(plan_.lanes),
+      laneStartNs_(plan_.lanes, 0),
+      laneFinishNs_(plan_.lanes, 0)
 {}
+
+void
+PartitionedInterpreter::recordPhaseObservations(const char *phaseName,
+                                                size_t lanes)
+{
+    uint64_t maxFinish = 0;
+    for (size_t l = 0; l < lanes; ++l)
+        maxFinish = std::max(maxFinish, laneFinishNs_[l]);
+    metrics::Histogram &perLane = phaseHist(phaseName);
+    metrics::Histogram &barrier = barrierHist();
+    const bool sampled =
+        tracing::enabled() && (cycle_ & kSpanSampleMask) == 0;
+    for (size_t l = 0; l < lanes; ++l) {
+        const uint64_t busy = laneFinishNs_[l] - laneStartNs_[l];
+        perLane.record(busy);
+        // Barrier wait: how long this lane's result sat idle waiting
+        // for the slowest lane of the phase.
+        barrier.record(maxFinish - laneFinishNs_[l]);
+        if (sampled) {
+            tracing::completeEvent(
+                phaseName, "partition", laneStartNs_[l], busy,
+                "\"lane\":" + std::to_string(l) +
+                    ",\"cycle\":" + std::to_string(cycle_),
+                kLaneTidBase + static_cast<int64_t>(l));
+        }
+    }
+}
 
 void
 PartitionedInterpreter::clearFaults()
@@ -435,9 +508,12 @@ PartitionedInterpreter::throwFault(int32_t key) const
 void
 PartitionedInterpreter::runCombPhases()
 {
+    const bool timed = metrics::timingEnabled();
     for (const auto &phase : plan_.combPhases) {
         clearFaults();
         pool_.parallelFor(0, phase.size(), [&](size_t lane) {
+            if (timed)
+                laneStartNs_[lane] = metrics::nowNs();
             for (int32_t ci : phase[lane]) {
                 try {
                     evalCombOne(rs_->comb[ci]);
@@ -447,10 +523,14 @@ PartitionedInterpreter::runCombPhases()
                     // index across lanes, not the lowest lane id.
                     faultKey_[lane] = ci;
                     faultMsg_[lane] = e.what();
-                    return;
+                    break;
                 }
             }
+            if (timed)
+                laneFinishNs_[lane] = metrics::nowNs();
         });
+        if (timed)
+            recordPhaseObservations("comb", phase.size());
         int32_t fault = minFaultKey();
         if (fault >= 0)
             throwFault(fault);
@@ -460,36 +540,59 @@ PartitionedInterpreter::runCombPhases()
 void
 PartitionedInterpreter::runLatchPhase()
 {
+    const bool timed = metrics::timingEnabled();
     pool_.parallelFor(0, plan_.latchLanes.size(), [&](size_t lane) {
+        if (timed)
+            laneStartNs_[lane] = metrics::nowNs();
         for (int32_t mi : plan_.latchLanes[lane])
             latchMemOne(rs_->mems[mi]);
+        if (timed)
+            laneFinishNs_[lane] = metrics::nowNs();
     });
+    if (timed)
+        recordPhaseObservations("latch", plan_.latchLanes.size());
 }
 
 void
 PartitionedInterpreter::runUpdatePhase()
 {
+    const bool timed = metrics::timingEnabled();
     clearFaults();
     pool_.parallelFor(0, plan_.updateLanes.size(), [&](size_t lane) {
+        if (timed)
+            laneStartNs_[lane] = metrics::nowNs();
         for (int32_t mi : plan_.updateLanes[lane]) {
             try {
                 updateMemOne(rs_->mems[mi]);
             } catch (const SimError &e) {
                 faultKey_[lane] = mi;
                 faultMsg_[lane] = e.what();
-                return;
+                break;
             }
         }
+        if (timed)
+            laneFinishNs_[lane] = metrics::nowNs();
     });
+    if (timed)
+        recordPhaseObservations("update", plan_.updateLanes.size());
     // Serial (I/O + trace) memories run on the coordinator in global
     // declaration order. If a parallel lane faulted, execute exactly
     // the prefix a serial run would have reached so the I/O stream and
     // trace bytes match the serial engine at the fault point.
     const int32_t fault = minFaultKey();
+    const uint64_t tailStart = timed ? metrics::nowNs() : 0;
     for (int32_t mi : plan_.serialUpdates) {
         if (fault >= 0 && mi >= fault)
             break;
         updateMemOne(rs_->mems[mi]);
+    }
+    if (timed) {
+        // The coordinator-only tail every lane waits behind — the
+        // overlap candidate named in ROADMAP's partition item.
+        static metrics::Histogram &tail = metrics::histogram(
+            "partition.serial_tail_ns",
+            metrics::Histogram::exponentialBounds(100, 2.0, 24));
+        tail.record(metrics::nowNs() - tailStart);
     }
     if (fault >= 0)
         throwFault(fault);

@@ -136,6 +136,12 @@ class PartitionedInterpreter : public Interpreter
     void runLatchPhase();
     void runUpdatePhase();
 
+    /** Fold one bulk-synchronous phase's per-lane timestamps into the
+     *  metrics registry (per-lane phase-duration + barrier-wait
+     *  histograms) and, on sampled cycles, into the span tracer.
+     *  Called only when metrics::timingEnabled(). */
+    void recordPhaseObservations(const char *phaseName, size_t lanes);
+
     /** Lowest faulting component/memory key across lanes, -1 for
      *  none; faults are captured per lane so the surfaced error never
      *  depends on scheduling. */
@@ -147,6 +153,15 @@ class PartitionedInterpreter : public Interpreter
     ThreadPool pool_;
     std::vector<int32_t> faultKey_;      ///< per lane; -1 = no fault
     std::vector<std::string> faultMsg_;  ///< per lane
+
+    /** Per-lane phase start/finish timestamps of the most recent
+     *  bulk-synchronous phase. Written by lane tasks (disjoint slots),
+     *  read by the coordinator after the barrier; populated only when
+     *  metrics::timingEnabled(). Timing never feeds back into
+     *  simulation state — traces/IO/checkpoints stay byte-identical
+     *  with observability on or off. */
+    std::vector<uint64_t> laneStartNs_;
+    std::vector<uint64_t> laneFinishNs_;
 };
 
 /** Build a partitioned interpreter with `lanes` worker lanes. */

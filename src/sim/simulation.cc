@@ -15,6 +15,8 @@
 #include "sim/partition.hh"
 #include "sim/symbolic.hh"
 #include "sim/trace.hh"
+#include "support/metrics.hh"
+#include "support/tracing.hh"
 
 namespace asim {
 
@@ -279,8 +281,11 @@ Simulation::Simulation(const SimulationOptions &opts)
         // A splice fault re-resolves even off a shared resolve: the
         // shared spec stays healthy, this instance gets the spliced
         // one (loadSpec).
+        tracing::Span span("sim.parse_resolve", "lifecycle");
         rs_ = std::make_shared<const ResolvedSpec>(
             loadSpec(opts, &diag_));
+        span.setArgs("\"components\":" +
+                     std::to_string(rs_->comb.size()));
     }
     if (hasFault_) {
         validateFaultSite(*rs_, fault_);
@@ -356,7 +361,15 @@ Simulation::Simulation(const SimulationOptions &opts)
         ctx.config.trace = ownedTrace_.get();
     }
 
-    engine_ = reg.make(engineName_, rs_, ctx);
+    {
+        // Covers engine-local compilation: bytecode for the vm,
+        // generate+host-compile for native (unless shared artifacts
+        // were prebuilt), partition planning for lanes >= 2.
+        tracing::Span span("sim.build_engine", "lifecycle");
+        span.setArgs("\"engine\":\"" + engineName_ + "\"");
+        engine_ = reg.make(engineName_, rs_, ctx);
+    }
+    metrics::counter("sim.engines_built." + engineName_).add();
 }
 
 SimulationOptions
@@ -391,6 +404,7 @@ Simulation::shareBatchArtifacts(const SimulationOptions &opts,
                                  shared.config.trace != nullptr ||
                                  shared.traceStream != nullptr;
     if (shared.engine == "vm" && !shared.program) {
+        tracing::Span span("sim.compile.vm", "lifecycle");
         shared.program = std::make_shared<const Program>(
             compileProgram(*shared.resolved, shared.compiler,
                            tracingPossible));
@@ -408,6 +422,7 @@ Simulation::shareBatchArtifacts(const SimulationOptions &opts,
         cg.emitTrace = tracingPossible;
         cg.emitStateDump = true;
         cg.emitServeLoop = true;
+        tracing::Span span("sim.compile.native", "lifecycle");
         shared.nativeBuild =
             shared.workDir.empty()
                 ? compileSpecCached(*shared.resolved, cg,
@@ -470,6 +485,15 @@ Simulation::step()
 void
 Simulation::run(uint64_t cycles)
 {
+    tracing::Span span("sim.run", "lifecycle");
+    span.setArgs("\"engine\":\"" + engineName_ +
+                 "\",\"cycles\":" + std::to_string(cycles));
+    const bool timed = metrics::timingEnabled();
+    const uint64_t t0 = timed ? metrics::nowNs() : 0;
+    const uint64_t startCycle = timed ? engine_->cycle() : 0;
+    const uint64_t startAlu = timed ? engine_->stats().aluEvals : 0;
+    const uint64_t startSel = timed ? engine_->stats().selEvals : 0;
+
     while (cycles > 0) {
         injectPending();
         uint64_t chunk = cycles;
@@ -480,6 +504,24 @@ Simulation::run(uint64_t cycles)
             chunk = std::min(chunk, fault_.cycle - engine_->cycle());
         engine_->run(chunk);
         cycles -= chunk;
+    }
+
+    if (timed) {
+        // Per-engine throughput and sampled hot-loop work counters:
+        // the engines accumulate SimStats in locals and flush at run
+        // exit, so the deltas here are one subtraction, not a
+        // per-cycle tax.
+        const SimStats &end = engine_->stats();
+        metrics::counter("engine.cycles." + engineName_)
+            .add(engine_->cycle() - startCycle);
+        metrics::counter("engine.alu_evals." + engineName_)
+            .add(end.aluEvals - startAlu);
+        metrics::counter("engine.sel_evals." + engineName_)
+            .add(end.selEvals - startSel);
+        metrics::histogram("engine.run_ns." + engineName_,
+                           metrics::Histogram::exponentialBounds(
+                               1000, 4.0, 16))
+            .record(metrics::nowNs() - t0);
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include "sim/compiler.hh"
 #include "support/bitops.hh"
+#include "support/metrics.hh"
 
 /**
  * Dispatch strategy selection (docs/INTERNALS.md):
@@ -169,6 +170,17 @@ Vm::runCycles(uint64_t n)
             stats_.cycles += n - left;
             stats_.aluEvals += aluEvals;
             stats_.selEvals += selEvals;
+        }
+        if (metrics::timingEnabled()) {
+            // Sampled at run exit from hot-loop locals, never from
+            // inside the dispatch loop: the off path stays one
+            // relaxed load. Dispatch is reported as cycles x static
+            // stream length (selector jumps may skip ops, so this is
+            // the dispatch upper bound the fusion ratio is read from).
+            metrics::counter("vm.dispatch.stream_ops")
+                .add((n - left) * prog_->cycle.size());
+            metrics::counter("vm.alu_evals").add(aluEvals);
+            metrics::counter("vm.sel_evals").add(selEvals);
         }
     };
     const auto badAddr = [](const MemoryState &ms) {

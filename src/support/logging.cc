@@ -1,14 +1,44 @@
 #include "support/logging.hh"
 
-#include <cstdio>
+#include "support/tracing.hh"
+
 #include <cstdlib>
 
 namespace asim {
 
+namespace {
+
+// The process log sink. Defaults to the tracer's serialized stderr
+// writer so daemon threads, pool workers, and the tracer never shear
+// each other's lines; tests swap in a capture writer.
+tracing::SyncWriter *g_sink = nullptr;
+
+tracing::SyncWriter &
+sink()
+{
+    return g_sink ? *g_sink : tracing::stderrWriter();
+}
+
+} // namespace
+
+tracing::SyncWriter *
+setLogSink(tracing::SyncWriter *writer)
+{
+    tracing::SyncWriter *prev = g_sink;
+    g_sink = writer;
+    return prev;
+}
+
+void
+logLine(const std::string &msg)
+{
+    sink().writeLine(msg);
+}
+
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    sink().writeLine("panic: " + msg);
     std::abort();
 }
 

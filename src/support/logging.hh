@@ -21,6 +21,10 @@
 
 namespace asim {
 
+namespace tracing {
+class SyncWriter;
+} // namespace tracing
+
 /** Raised when a specification is malformed. Mirrors the thesis'
  *  compile-time "Error." messages (no code is generated). */
 class SpecError : public std::runtime_error
@@ -43,6 +47,17 @@ class SimError : public std::runtime_error
 
 /** Abort with an internal-bug message. Never the user's fault. */
 [[noreturn]] void panic(const std::string &msg);
+
+/** Write one line to the process log sink — by default the tracer's
+ *  serialized stderr writer (tracing::stderrWriter()), so concurrent
+ *  threads never interleave partial lines. */
+void logLine(const std::string &msg);
+
+/** Redirect the log sink (panic + logLine). Pass nullptr to restore
+ *  the default stderr writer; returns the previous override. The
+ *  writer must outlive its installation. Not thread-safe against
+ *  concurrent logging — install sinks at startup or in tests. */
+tracing::SyncWriter *setLogSink(tracing::SyncWriter *writer);
 
 /**
  * Collector for non-fatal warnings ("declared but not defined",

@@ -1,10 +1,36 @@
 #include "support/thread_pool.hh"
 
+#include "support/metrics.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace asim {
+
+namespace {
+
+// Pool-wide observability (docs/OBSERVABILITY.md). Queue depth rides
+// the post/dequeue mutex, so the gauge update is noise there; the
+// task-latency histogram needs clock reads and is gated behind
+// metrics::timingEnabled() at post() time.
+metrics::Gauge &
+queueDepthGauge()
+{
+    static metrics::Gauge &g = metrics::gauge("threadpool.queue_depth");
+    return g;
+}
+
+metrics::Histogram &
+taskLatencyHist()
+{
+    static metrics::Histogram &h = metrics::histogram(
+        "threadpool.task_latency_ns",
+        metrics::Histogram::exponentialBounds(1000, 2.0, 22));
+    return h;
+}
+
+} // namespace
 
 unsigned
 ThreadPool::hardwareThreads()
@@ -35,9 +61,18 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::post(std::function<void()> task)
 {
+    if (metrics::timingEnabled()) {
+        // Queue latency = enqueue -> first instruction of the task.
+        const uint64_t enqueuedNs = metrics::nowNs();
+        task = [enqueuedNs, inner = std::move(task)]() {
+            taskLatencyHist().record(metrics::nowNs() - enqueuedNs);
+            inner();
+        };
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        queueDepthGauge().set(static_cast<int64_t>(queue_.size()));
     }
     wake_.notify_one();
 }
@@ -64,6 +99,7 @@ ThreadPool::workerLoop()
                 return; // shutdown with nothing left to do
             task = std::move(queue_.front());
             queue_.pop_front();
+            queueDepthGauge().set(static_cast<int64_t>(queue_.size()));
             ++active_;
         }
         try {

@@ -25,6 +25,7 @@
 #include "machines/counter.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "support/metrics.hh"
 #include "sim/checkpoint.hh"
 #include "sim/native_engine.hh"
 #include "sim/simulation.hh"
@@ -491,6 +492,137 @@ TEST_F(Serve, StatsJsonReportsThroughputAndCacheHits)
     EXPECT_NE(stats.find("\"vm\""), std::string::npos);
     EXPECT_NE(stats.find("\"cycles\":9"), std::string::npos);
     EXPECT_NE(stats.find("native_compile_cache_hits"),
+              std::string::npos);
+}
+
+TEST_F(Serve, StatsJsonCarriesUptimePeakAndPerOpcodeCounts)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    auto session = client.open(echoOpen("statsplus"));
+    client.run(session.id, 4);
+    client.run(session.id, 5);
+
+    std::string stats = client.statsJson();
+    EXPECT_NE(stats.find("\"uptime_seconds\":"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"peak_sessions_live\":1"),
+              std::string::npos)
+        << stats;
+    // Per-opcode request counts (DESIGN.md §9): 1 hello, 1 open,
+    // 2 runs; the stats request itself is in flight, so its own
+    // count was taken before the reply was built.
+    EXPECT_NE(stats.find("\"requests\":{"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"hello\":1"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"open\":1"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"run\":2"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"unknown\":0"), std::string::npos) << stats;
+}
+
+// ---------------------------------------------------------------------
+// METRICS (protocol v3) and version negotiation.
+// ---------------------------------------------------------------------
+
+TEST_F(Serve, MetricsRoundTripExposesTheRegistry)
+{
+    const bool wasTimed = metrics::timingEnabled();
+    metrics::setTimingEnabled(true); // as the daemon binary does
+
+    ServeServer server(serveOpts());
+    server.start();
+
+    ServeClient client(sock_);
+    EXPECT_EQ(client.serverVersion(), kProtocolVersion);
+    auto open = echoOpen("metrics");
+    auto session = client.open(open);
+    std::string output = client.run(session.id, 9).output;
+
+    std::string scrape = client.metricsJson();
+    EXPECT_NE(scrape.find("\"uptime_seconds\":"), std::string::npos)
+        << scrape;
+    EXPECT_NE(scrape.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(scrape.find("\"registry\":{"), std::string::npos);
+    // Request latencies populate per opcode once timing is on.
+    EXPECT_NE(scrape.find("serve.request_ns.run"), std::string::npos)
+        << scrape;
+    EXPECT_NE(scrape.find("serve.sessions_live"), std::string::npos);
+    EXPECT_NE(scrape.find("serve.sessions_opened"),
+              std::string::npos);
+
+    // Scraping never disturbs session results.
+    EXPECT_EQ(output, directOutput(open, 9));
+
+    metrics::setTimingEnabled(wasTimed);
+}
+
+TEST_F(Serve, V2ClientNegotiatesAndIsRefusedMetrics)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    // Hand-rolled v2 handshake: the server must echo version 2 (the
+    // reply an old client's `version != kProtocolVersion` check
+    // accepts) and answer ERR to the v3-only METRICS opcode.
+    FrameChannel ch(connectEndpoint(sock_));
+    ByteWriter hello;
+    hello.u8(static_cast<uint8_t>(Op::Hello));
+    hello.str(std::string(kHelloMagic));
+    hello.u32(2);
+    ASSERT_TRUE(ch.writeFrame(hello.data()));
+    std::string resp;
+    ASSERT_TRUE(ch.readFrame(resp));
+    {
+        ByteReader r(resp, "hello reply");
+        EXPECT_EQ(r.u8("status"),
+                  static_cast<uint8_t>(Status::Ok));
+        EXPECT_EQ(r.u32("version"), 2u);
+    }
+
+    ByteWriter metricsReq;
+    metricsReq.u8(static_cast<uint8_t>(Op::Metrics));
+    ASSERT_TRUE(ch.writeFrame(metricsReq.data()));
+    ASSERT_TRUE(ch.readFrame(resp));
+    {
+        ByteReader r(resp, "metrics reply");
+        EXPECT_EQ(r.u8("status"),
+                  static_cast<uint8_t>(Status::Error));
+        EXPECT_NE(r.str("error").find("protocol v3"),
+                  std::string::npos);
+    }
+
+    // The connection survives; STATS still works at v2.
+    ByteWriter stats;
+    stats.u8(static_cast<uint8_t>(Op::Stats));
+    ASSERT_TRUE(ch.writeFrame(stats.data()));
+    ASSERT_TRUE(ch.readFrame(resp));
+    {
+        ByteReader r(resp, "stats reply");
+        EXPECT_EQ(r.u8("status"),
+                  static_cast<uint8_t>(Status::Ok));
+        EXPECT_NE(r.str("stats json").find("sessions_live"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(Serve, UnsupportedHelloVersionIsRejected)
+{
+    ServeServer server(serveOpts());
+    server.start();
+
+    FrameChannel ch(connectEndpoint(sock_));
+    ByteWriter hello;
+    hello.u8(static_cast<uint8_t>(Op::Hello));
+    hello.str(std::string(kHelloMagic));
+    hello.u32(1); // older than kMinProtocolVersion
+    ASSERT_TRUE(ch.writeFrame(hello.data()));
+    std::string resp;
+    ASSERT_TRUE(ch.readFrame(resp));
+    ByteReader r(resp, "hello reply");
+    EXPECT_EQ(r.u8("status"), static_cast<uint8_t>(Status::Error));
+    EXPECT_NE(r.str("error").find("protocol mismatch"),
               std::string::npos);
 }
 

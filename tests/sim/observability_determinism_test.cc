@@ -1,0 +1,222 @@
+/** @file
+ * Observability must never feed back into simulation results: traces,
+ * scripted I/O, checkpoints, batch records, and campaign outcomes are
+ * byte-identical with tracing + timing metrics off, on, and after a
+ * mid-run state change (the contract in support/metrics.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analysis/campaign.hh"
+#include "machines/synthetic.hh"
+#include "sim/batch.hh"
+#include "sim/checkpoint.hh"
+#include "sim/simulation.hh"
+#include "support/metrics.hh"
+#include "support/tracing.hh"
+
+namespace asim {
+namespace {
+
+/** Run the whole test body once with observability off and once with
+ *  a live trace file, returning both captures for comparison. */
+class ObservabilityScope
+{
+  public:
+    ObservabilityScope()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("asim_obs_det_" + std::to_string(::getpid()) +
+                  ".json"))
+                    .string();
+        EXPECT_TRUE(tracing::start(path_));
+    }
+
+    ~ObservabilityScope()
+    {
+        tracing::stop();
+        metrics::setTimingEnabled(false);
+        std::remove(path_.c_str());
+    }
+
+  private:
+    std::string path_;
+};
+
+/** Deterministic fingerprint of one simulation run. */
+std::string
+runFingerprint(const std::string &specText, unsigned partitions,
+               const std::string &engine, uint64_t cycles)
+{
+    SimulationOptions o;
+    o.specText = specText;
+    o.engine = engine;
+    o.partitions = partitions;
+    o.partitionMinComponents = 1;
+    o.ioMode = IoMode::Null;
+    std::ostringstream trace;
+    o.traceStream = &trace;
+
+    Simulation sim(o);
+    sim.run(cycles);
+    std::string out = trace.str();
+    out += "|cycle=" + std::to_string(sim.cycle());
+    out += "|ckpt=" + encodeCheckpoint(sim.snapshot(), sim.specHash(),
+                                       "test");
+    return out;
+}
+
+/** Deterministic fingerprint of a small batch (timing fields like
+ *  seconds are wall-clock and excluded by design). */
+std::string
+batchFingerprint(const std::string &specText)
+{
+    BatchOptions bo;
+    bo.threads = 3;
+    BatchRunner runner(bo);
+    BatchJob job;
+    job.options.specText = specText;
+    job.options.ioMode = IoMode::Null;
+    job.cycles = 64;
+    runner.addBatch(job, 6);
+    BatchResult result = runner.run();
+
+    std::string out;
+    for (const auto &r : result.instances) {
+        out += r.label + "/" + r.engine + "/" +
+               std::to_string(r.cyclesRun) + "/" +
+               (r.faulted ? r.fault : "ok") + "/" + r.ioText + ";";
+    }
+    return out;
+}
+
+/** Deterministic fingerprint of a small fault campaign. */
+std::string
+campaignFingerprint(const std::string &specText)
+{
+    CampaignOptions co;
+    co.base.specText = specText;
+    co.base.ioMode = IoMode::Null;
+    co.runs = 8;
+    co.seed = 42;
+    co.horizon = 64;
+    co.threads = 2;
+    CampaignRunner runner(std::move(co));
+    CampaignResult result = runner.run();
+
+    std::string out;
+    for (const auto &rec : result.records) {
+        out += rec.site + "/" + rec.component + "/" +
+               std::to_string(static_cast<int>(rec.outcome)) + "/" +
+               std::to_string(rec.cyclesRun) + ";";
+    }
+    return out;
+}
+
+TEST(ObservabilityDeterminismTest, SingleRunByteIdentical)
+{
+    const std::string spec =
+        generateSyntheticText(syntheticPreset("1k"));
+    const std::string off = runFingerprint(spec, 1, "interp", 32);
+    std::string on;
+    {
+        ObservabilityScope scope;
+        on = runFingerprint(spec, 1, "interp", 32);
+    }
+    EXPECT_EQ(off, on);
+}
+
+TEST(ObservabilityDeterminismTest, PartitionedRunByteIdentical)
+{
+    const std::string spec =
+        generateSyntheticText(syntheticPreset("1k"));
+    const std::string off = runFingerprint(spec, 4, "interp", 32);
+    std::string on;
+    {
+        ObservabilityScope scope;
+        on = runFingerprint(spec, 4, "interp", 32);
+    }
+    EXPECT_EQ(off, on);
+}
+
+TEST(ObservabilityDeterminismTest, VmRunByteIdentical)
+{
+    const std::string spec =
+        generateSyntheticText(syntheticPreset("1k"));
+    const std::string off = runFingerprint(spec, 1, "vm", 32);
+    std::string on;
+    {
+        ObservabilityScope scope;
+        on = runFingerprint(spec, 1, "vm", 32);
+    }
+    EXPECT_EQ(off, on);
+}
+
+TEST(ObservabilityDeterminismTest, BatchRecordsByteIdentical)
+{
+    const std::string spec =
+        generateSyntheticText(syntheticPreset("1k"));
+    const std::string off = batchFingerprint(spec);
+    std::string on;
+    {
+        ObservabilityScope scope;
+        on = batchFingerprint(spec);
+    }
+    EXPECT_EQ(off, on);
+}
+
+TEST(ObservabilityDeterminismTest, CampaignOutcomesByteIdentical)
+{
+    const std::string spec =
+        generateSyntheticText(syntheticPreset("1k"));
+    const std::string off = campaignFingerprint(spec);
+    std::string on;
+    {
+        ObservabilityScope scope;
+        on = campaignFingerprint(spec);
+    }
+    EXPECT_EQ(off, on);
+}
+
+TEST(ObservabilityDeterminismTest, MidRunStartStopHarmless)
+{
+    const std::string spec =
+        generateSyntheticText(syntheticPreset("1k"));
+
+    SimulationOptions o;
+    o.specText = spec;
+    o.engine = "interp";
+    o.partitions = 2;
+    o.partitionMinComponents = 1;
+    o.ioMode = IoMode::Null;
+    std::ostringstream trace;
+    o.traceStream = &trace;
+    Simulation sim(o);
+
+    sim.run(16);
+    {
+        ObservabilityScope scope;
+        sim.run(16); // tracing flips on mid-simulation
+    }
+    sim.run(16); // and back off
+
+    const std::string uninterrupted =
+        runFingerprint(spec, 2, "interp", 48);
+    std::string got = trace.str();
+    got += "|cycle=" + std::to_string(sim.cycle());
+    got += "|ckpt=" + encodeCheckpoint(sim.snapshot(),
+                                       sim.specHash(), "test");
+    EXPECT_EQ(uninterrupted, got);
+}
+
+} // namespace
+} // namespace asim

@@ -1,0 +1,156 @@
+/** @file
+ * Logging layer: exception taxonomy, the Diagnostics collector, and
+ * the redirectable log sink shared with the tracer's SyncWriter (so
+ * concurrent threads never shear a line).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "support/logging.hh"
+#include "support/tracing.hh"
+
+namespace asim {
+namespace {
+
+TEST(LoggingTest, ErrorTypesCarryMessages)
+{
+    SpecError spec("bad spec");
+    SimError sim("bad run");
+    EXPECT_STREQ(spec.what(), "bad spec");
+    EXPECT_STREQ(sim.what(), "bad run");
+    // Both are runtime_errors so one catch site can take either.
+    EXPECT_NO_THROW({
+        try {
+            throw SpecError("x");
+        } catch (const std::runtime_error &) {
+        }
+    });
+}
+
+TEST(LoggingTest, DiagnosticsCollectInOrder)
+{
+    Diagnostics d;
+    EXPECT_TRUE(d.clean());
+    d.warn("first");
+    d.warn("second");
+    EXPECT_FALSE(d.clean());
+    ASSERT_EQ(d.warnings().size(), 2u);
+    EXPECT_EQ(d.warnings()[0], "first");
+    EXPECT_EQ(d.warnings()[1], "second");
+}
+
+/** Redirect the sink to a temp file, restore it on scope exit. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        static std::atomic<int> serial{0};
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("asim_logging_test_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(serial.fetch_add(1)) + ".log"))
+                    .string();
+        file_ = std::fopen(path_.c_str(), "w+b");
+        writer_ = std::make_unique<tracing::SyncWriter>(file_);
+        prev_ = setLogSink(writer_.get());
+    }
+
+    ~SinkCapture()
+    {
+        setLogSink(prev_);
+        std::fclose(file_);
+        std::remove(path_.c_str());
+    }
+
+    std::string text() const
+    {
+        std::fflush(file_);
+        std::ifstream in(path_, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::unique_ptr<tracing::SyncWriter> writer_;
+    tracing::SyncWriter *prev_ = nullptr;
+};
+
+TEST(LoggingTest, LogLineGoesToInstalledSink)
+{
+    SinkCapture capture;
+    logLine("hello sink");
+    EXPECT_EQ(capture.text(), "hello sink\n");
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPrevious)
+{
+    SinkCapture outer;
+    {
+        SinkCapture inner;
+        logLine("inner line");
+        EXPECT_NE(inner.text().find("inner line"), std::string::npos);
+    }
+    // inner's destructor restored outer's writer.
+    logLine("outer line");
+    EXPECT_NE(outer.text().find("outer line"), std::string::npos);
+    EXPECT_EQ(outer.text().find("inner line"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentLogLinesNeverShear)
+{
+    SinkCapture capture;
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            const std::string line(20 + t, 'a' + char(t));
+            for (int i = 0; i < kLines; ++i)
+                logLine(line);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // Every line in the file must be exactly one writer's payload —
+    // uniform characters of the expected length.
+    std::istringstream in(capture.text());
+    std::string line;
+    size_t n = 0;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        const char c = line[0];
+        ASSERT_GE(c, 'a');
+        ASSERT_LT(c, 'a' + kThreads);
+        const int t = c - 'a';
+        EXPECT_EQ(line.size(), size_t(20 + t));
+        for (char ch : line)
+            ASSERT_EQ(ch, c);
+        ++n;
+    }
+    EXPECT_EQ(n, size_t(kThreads) * kLines);
+}
+
+TEST(LoggingDeathTest, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(panic("invariant broken"), "panic: invariant broken");
+}
+
+} // namespace
+} // namespace asim

@@ -1,0 +1,219 @@
+/** @file
+ * Metrics registry: counter/gauge/histogram semantics, cross-thread
+ * accumulation through the shards, quantile math, and the two
+ * expositions the METRICS opcode and --trace-out embed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hh"
+
+namespace asim::metrics {
+namespace {
+
+/** Private registry so tests never see each other's metrics (the
+ *  global registry is process-wide by design). */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    Registry reg;
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAcrossThreads)
+{
+    Counter &c = reg.counter("test.counter");
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                c.add();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddN)
+{
+    Counter &c = reg.counter("test.addn");
+    c.add(5);
+    c.add(37);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameCounter)
+{
+    Counter &a = reg.counter("test.same");
+    Counter &b = reg.counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(MetricsTest, GaugeTracksValueAndPeak)
+{
+    Gauge &g = reg.gauge("test.gauge");
+    g.set(5);
+    g.set(12);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+    EXPECT_EQ(g.peak(), 12);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -7);
+    EXPECT_EQ(g.peak(), 12); // peak never decreases
+    g.add(100);
+    EXPECT_EQ(g.peak(), 93);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndQuantiles)
+{
+    Histogram &h = reg.histogram("test.hist", {10, 100, 1000});
+    // 90 samples <= 10, 9 samples <= 100, 1 sample in overflow.
+    for (int i = 0; i < 90; ++i)
+        h.record(5);
+    for (int i = 0; i < 9; ++i)
+        h.record(50);
+    h.record(5000);
+
+    Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.sum, 90u * 5 + 9u * 50 + 5000);
+    ASSERT_EQ(s.counts.size(), 4u); // 3 bounds + overflow
+    EXPECT_EQ(s.counts[0], 90u);
+    EXPECT_EQ(s.counts[1], 9u);
+    EXPECT_EQ(s.counts[2], 0u);
+    EXPECT_EQ(s.counts[3], 1u);
+    EXPECT_EQ(s.quantile(0.5), 10u);  // p50 in first bucket
+    EXPECT_EQ(s.quantile(0.95), 100u);
+    // Overflow samples report the last finite bound.
+    EXPECT_EQ(s.quantile(1.0), 1000u);
+    EXPECT_DOUBLE_EQ(s.mean(), double(s.sum) / 100.0);
+}
+
+TEST_F(MetricsTest, HistogramCrossThreadTotal)
+{
+    Histogram &h = reg.histogram(
+        "test.hist.mt", Histogram::exponentialBounds(1, 2.0, 10));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&h] {
+            for (uint64_t i = 0; i < 1000; ++i)
+                h.record(i % 512);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(h.snapshot().count, 4000u);
+}
+
+TEST_F(MetricsTest, ExponentialBoundsLadder)
+{
+    auto b = Histogram::exponentialBounds(1000, 2.0, 4);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 1000u);
+    EXPECT_EQ(b[1], 2000u);
+    EXPECT_EQ(b[2], 4000u);
+    EXPECT_EQ(b[3], 8000u);
+}
+
+TEST_F(MetricsTest, EmptyHistogramSnapshot)
+{
+    Histogram &h = reg.histogram("test.empty", {10});
+    Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.quantile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotCollectsEverything)
+{
+    reg.counter("c.one").add(7);
+    reg.gauge("g.one").set(3);
+    reg.histogram("h.one", {100}).record(50);
+
+    RegistrySnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.count("c.one"), 1u);
+    EXPECT_EQ(snap.counters.at("c.one"), 7u);
+    ASSERT_EQ(snap.gauges.count("g.one"), 1u);
+    EXPECT_EQ(snap.gauges.at("g.one").first, 3);
+    ASSERT_EQ(snap.histograms.count("h.one"), 1u);
+    EXPECT_EQ(snap.histograms.at("h.one").count, 1u);
+}
+
+TEST_F(MetricsTest, TextExpositionFormat)
+{
+    reg.counter("zz.last").add(1);
+    reg.counter("aa.first").add(2);
+    std::string text = reg.textExposition();
+    // Sorted by name, one `name value` line each.
+    auto aa = text.find("aa.first 2");
+    auto zz = text.find("zz.last 1");
+    ASSERT_NE(aa, std::string::npos) << text;
+    ASSERT_NE(zz, std::string::npos) << text;
+    EXPECT_LT(aa, zz);
+}
+
+TEST_F(MetricsTest, JsonExpositionIsWellFormedAndComplete)
+{
+    reg.counter("c").add(9);
+    reg.gauge("g").set(-4);
+    reg.histogram("h", {10, 20}).record(15);
+    std::string json = reg.jsonExposition();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"c\":9"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"value\":-4"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+    // Balanced braces (cheap well-formedness check; the Python
+    // tooling in CI parses it for real).
+    int depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        if (ch == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST_F(MetricsTest, TimingEnabledToggle)
+{
+    const bool was = timingEnabled();
+    setTimingEnabled(true);
+    EXPECT_TRUE(timingEnabled());
+    {
+        Histogram &h = reg.histogram("t.scoped", {1u << 30});
+        {
+            ScopedTimerNs timer(h);
+        }
+        EXPECT_EQ(h.snapshot().count, 1u);
+    }
+    setTimingEnabled(false);
+    EXPECT_FALSE(timingEnabled());
+    {
+        Histogram &h = reg.histogram("t.off", {1u << 30});
+        {
+            ScopedTimerNs timer(h);
+        }
+        EXPECT_EQ(h.snapshot().count, 0u); // inert when disabled
+    }
+    setTimingEnabled(was);
+}
+
+TEST_F(MetricsTest, NowNsIsMonotonic)
+{
+    uint64_t a = nowNs();
+    uint64_t b = nowNs();
+    EXPECT_LE(a, b);
+}
+
+} // namespace
+} // namespace asim::metrics

@@ -16,9 +16,16 @@ mark is a reviewer signal, not a merge blocker). Benchmarks present
 only on one side are reported as `new` / `missing` and never fail
 the check — CI hosts and the baseline machine differ, fleets evolve.
 
+Per-benchmark tolerances: --overrides points at a JSON object mapping
+a benchmark name (exact match) to its own tolerance, overriding
+--tolerance for that row. The committed tools/bench_tolerances.json
+records the noisy benchmarks' slack in-repo so CI and local runs
+agree on what counts as a regression.
+
 Usage:
     tools/check_bench.py --baseline BENCH_baseline.json \
-        [--tolerance 0.5] [--output report.md] current.json...
+        [--tolerance 0.5] [--overrides tools/bench_tolerances.json] \
+        [--output report.md] current.json...
 """
 
 import argparse
@@ -46,16 +53,18 @@ def load_benchmarks(path):
     return out
 
 
-def compare(baseline, current, tolerance):
+def compare(baseline, current, tolerance, overrides=None):
     """Yield (name, base, cur, ratio, status) rows for the benchmarks
     in `current`, sorted by name. (The baseline may merge several
     bench binaries; names it alone holds are reported separately,
     once, against the union of all current files.)
 
     ratio is current/baseline oriented so that > 1 is better (the
-    reciprocal is taken for time-based metrics).
+    reciprocal is taken for time-based metrics). `overrides` maps a
+    benchmark name to its own tolerance.
     """
     rows = []
+    overrides = overrides or {}
     for name in sorted(current):
         cur, metric = current[name]
         if name not in baseline:
@@ -68,7 +77,8 @@ def compare(baseline, current, tolerance):
         ratio = cur / base
         if metric == "real_time":
             ratio = 1.0 / ratio  # smaller time is better
-        status = "REGRESSION" if ratio < 1.0 - tolerance else "ok"
+        tol = overrides.get(name, tolerance)
+        status = "REGRESSION" if ratio < 1.0 - tol else "ok"
         rows.append((name, base, cur, ratio, status))
     return rows
 
@@ -108,10 +118,29 @@ def main():
                     "benchmark counts as regressed (default 0.5: "
                     "flag only when < 50%% of baseline — CI hosts "
                     "and the baseline machine differ)")
+    ap.add_argument("--overrides",
+                    help="JSON object of per-benchmark tolerances "
+                    "(see tools/bench_tolerances.json)")
     ap.add_argument("--output", help="write the Markdown report here")
     ap.add_argument("current", nargs="+",
                     help="Google-Benchmark JSON files to compare")
     args = ap.parse_args()
+
+    overrides = {}
+    if args.overrides:
+        try:
+            with open(args.overrides) as f:
+                overrides = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"cannot read overrides {args.overrides}: {e}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(overrides, dict) or not all(
+                isinstance(v, (int, float))
+                for v in overrides.values()):
+            print(f"{args.overrides}: want an object of "
+                  "name -> tolerance", file=sys.stderr)
+            return 2
 
     try:
         baseline = load_benchmarks(args.baseline)
@@ -134,7 +163,7 @@ def main():
             print(f"cannot read {path}: {e}", file=sys.stderr)
             return 2
         seen |= set(current)
-        rows = compare(baseline, current, args.tolerance)
+        rows = compare(baseline, current, args.tolerance, overrides)
         report.append(render(os.path.basename(path), rows,
                              args.tolerance))
         regressed += [f"{os.path.basename(path)}: {name}"

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Summarize an asim --trace-out file (Chrome trace_event JSON).
+
+Reads the trace object `{"traceEvents": [...], "asim_metrics": {...}}`
+(a bare event array is accepted too), aggregates the complete ("X")
+events per span name, and prints one table row per span: count, total
+duration, mean, and p95. When the embedded `asim_metrics` block is
+present its counters and histogram quantiles are printed after the
+span table. Loading the file at all doubles as the CI validation that
+--trace-out emits well-formed JSON Perfetto can open.
+
+With --metrics the input is instead a METRICS scrape (the payload of
+`asim-run --connect=... --server-metrics` or ServeClient::metricsJson):
+the uptime / stats / registry structure is validated and summarized.
+
+Exit status: 0 on a well-formed input, 1 otherwise. --require NAME
+additionally fails when no span (or, with --metrics, no registry
+metric) matches NAME as a substring — CI smoke uses this to pin the
+instrumentation it expects.
+
+Usage:
+    tools/trace2summary.py trace.json [--require sim.run ...]
+    tools/trace2summary.py --metrics scrape.json [--require NAME ...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f}ms"
+    return f"{us:.1f}us"
+
+
+def summarize_spans(events):
+    """name -> ascending list of 'X'-event durations (us)."""
+    spans = {}
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        name = ev.get("name")
+        dur = ev.get("dur")
+        if name is None or dur is None:
+            continue
+        spans.setdefault(name, []).append(float(dur))
+    for durs in spans.values():
+        durs.sort()
+    return spans
+
+
+def print_span_table(spans):
+    rows = []
+    for name in sorted(spans):
+        durs = spans[name]
+        total = sum(durs)
+        rows.append((name, len(durs), total, total / len(durs),
+                     percentile(durs, 0.95)))
+    w = max([len(r[0]) for r in rows] + [4])
+    print(f"{'span':<{w}} {'count':>8} {'total':>12} {'mean':>12} "
+          f"{'p95':>12}")
+    for name, count, total, mean, p95 in rows:
+        print(f"{name:<{w}} {count:>8} {fmt_us(total):>12} "
+              f"{fmt_us(mean):>12} {fmt_us(p95):>12}")
+
+
+def print_registry(registry, header):
+    counters = registry.get("counters", {})
+    gauges = registry.get("gauges", {})
+    histograms = registry.get("histograms", {})
+    if not isinstance(counters, dict) or \
+       not isinstance(gauges, dict) or \
+       not isinstance(histograms, dict):
+        raise ValueError("registry counters/gauges/histograms must "
+                         "be objects")
+    print(f"\n{header}: {len(counters)} counters, {len(gauges)} "
+          f"gauges, {len(histograms)} histograms")
+    for name in sorted(counters):
+        print(f"  {name} = {counters[name]}")
+    for name in sorted(gauges):
+        g = gauges[name]
+        print(f"  {name} = {g.get('value')} (peak {g.get('peak')})")
+    for name in sorted(histograms):
+        h = histograms[name]
+        print(f"  {name}: count={h.get('count')} "
+              f"mean={h.get('mean'):.0f} p50={h.get('p50')} "
+              f"p95={h.get('p95')} p99={h.get('p99')}")
+    return (set(counters) | set(gauges) | set(histograms))
+
+
+def run_trace(path, require):
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, list):
+        events, registry = data, None
+    elif isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("traceEvents must be an array")
+        registry = data.get("asim_metrics")
+    else:
+        raise ValueError("top level must be an object or an array")
+
+    spans = summarize_spans(events)
+    print(f"{path}: {len(events)} events, {len(spans)} span names")
+    if spans:
+        print_span_table(spans)
+    names = set(spans)
+    if registry is not None:
+        names |= print_registry(registry, "asim_metrics")
+    return names
+
+
+def run_metrics(path, require):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError("metrics scrape must be a JSON object")
+    uptime = data.get("uptime_seconds")
+    if not isinstance(uptime, (int, float)) or uptime < 0:
+        raise ValueError("uptime_seconds missing or negative")
+    stats = data.get("stats")
+    if not isinstance(stats, dict):
+        raise ValueError("stats must be an object")
+    for key in ("sessions_live", "sessions_opened",
+                "peak_sessions_live", "requests", "engines"):
+        if key not in stats:
+            raise ValueError(f"stats lacks {key}")
+    registry = data.get("registry")
+    if not isinstance(registry, dict):
+        raise ValueError("registry must be an object")
+
+    print(f"{path}: daemon up {uptime:.1f}s, "
+          f"{stats['sessions_live']} live / "
+          f"{stats.get('sessions_parked', 0)} parked sessions, "
+          f"peak {stats['peak_sessions_live']}")
+    reqs = stats["requests"]
+    total = sum(v for v in reqs.values() if isinstance(v, int))
+    print(f"requests: {total} total ("
+          + ", ".join(f"{k}={v}" for k, v in sorted(reqs.items())
+                      if v) + ")")
+    return print_registry(registry, "registry")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="trace or scrape JSON file")
+    ap.add_argument("--metrics", action="store_true",
+                    help="input is a METRICS scrape, not a trace")
+    ap.add_argument("--require", action="append", default=[],
+                    help="fail unless a span/metric name contains "
+                    "this substring (repeatable)")
+    args = ap.parse_args()
+
+    try:
+        if args.metrics:
+            names = run_metrics(args.path, args.require)
+        else:
+            names = run_trace(args.path, args.require)
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"{args.path}: invalid: {e}", file=sys.stderr)
+        return 1
+
+    missing = [r for r in args.require
+               if not any(r in n for n in names)]
+    if missing:
+        print(f"{args.path}: required names absent: "
+              + ", ".join(missing), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
